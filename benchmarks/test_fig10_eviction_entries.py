@@ -1,0 +1,83 @@
+"""Figure 10 — eviction policies under a recycle-pool *entry* limit.
+
+The mixed 200-query batch runs under entry budgets of 20/40/60/80 % of the
+KEEPALL/unlimited footprint, for LRU and Benefit (BP) eviction, each alone
+and combined with CREDIT admission.
+
+Expected shapes (paper §7.3): limits that still fit the reused entries
+barely dent the hit ratio; at 20 % the ratio drops markedly; every limited
+configuration still runs well under the naive time; BP achieves the best
+times by keeping weighty intermediates.
+"""
+
+from __future__ import annotations
+
+from conftest import SF, make_tpch_db
+
+from repro import BenefitEviction, CreditAdmission, LruEviction
+from repro.bench import mixed_workload, render_table, run_batch
+
+LIMITS = [0.2, 0.4, 0.6, 0.8]
+
+
+def run_config(max_entries=None, eviction=None, admission=None,
+               recycle=True):
+    db = make_tpch_db(recycle=recycle, max_entries=max_entries,
+                      eviction=eviction, admission=admission)
+    batch = mixed_workload(n_instances_each=20, seed=66, sf=SF)
+    result = run_batch(db, batch)
+    return {
+        "seconds": result.total_seconds,
+        "hit_ratio": result.hit_ratio,
+        "final_entries": db.pool_entries,
+    }
+
+
+def run_fig10():
+    naive = run_config(recycle=False)
+    unlimited = run_config()
+    total_entries = unlimited["final_entries"]
+    rows = []
+    configs = {
+        "LRU": dict(eviction=LruEviction()),
+        "BP": dict(eviction=BenefitEviction()),
+        "CRD+LRU": dict(eviction=LruEviction(),
+                        admission=CreditAdmission(5)),
+        "CRD+BP": dict(eviction=BenefitEviction(),
+                       admission=CreditAdmission(5)),
+    }
+    for pct in LIMITS:
+        limit = max(8, int(total_entries * pct))
+        for label, cfg in configs.items():
+            res = run_config(max_entries=limit, **cfg)
+            rows.append([
+                f"{int(pct * 100)}%", label,
+                round(res["hit_ratio"], 3),
+                round(res["seconds"] / naive["seconds"], 3),
+            ])
+    return {
+        "naive_seconds": naive["seconds"],
+        "unlimited": unlimited,
+        "rows": rows,
+    }
+
+
+def test_fig10_entry_limits(benchmark):
+    data = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        "Fig 10 — eviction under entry limits (time ratio vs naive "
+        f"{data['naive_seconds']:.2f}s; unlimited hit ratio "
+        f"{data['unlimited']['hit_ratio']:.3f}, "
+        f"{data['unlimited']['final_entries']} entries)",
+        ["CL limit", "policy", "hit ratio", "time/naive"],
+        data["rows"],
+    ))
+    by_key = {(r[0], r[1]): r for r in data["rows"]}
+    # Generous limits keep the hit ratio near the unlimited level.
+    assert by_key[("80%", "LRU")][2] > 0.5 * data["unlimited"]["hit_ratio"]
+    # Every configuration beats naive execution (paper: <= ~45 %... we
+    # only require a win; absolute ratios are machine-specific).
+    assert all(r[3] < 1.0 for r in data["rows"])
+    # Tight limits hurt the hit ratio.
+    assert by_key[("20%", "LRU")][2] <= by_key[("80%", "LRU")][2] + 0.05

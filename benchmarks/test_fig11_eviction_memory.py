@@ -1,0 +1,76 @@
+"""Figure 11 — eviction policies under a recycle-pool *memory* limit.
+
+Same mixed batch as Figure 10, limiting pool bytes to 20/40/60/80 % of the
+KEEPALL/unlimited footprint.
+
+Expected shapes (paper §7.3): the memory limit bites harder than the entry
+limit (beneficial intermediates are large); LRU — alone or with CREDIT —
+is competitive with or better than BP here; all variants beat naive.
+"""
+
+from __future__ import annotations
+
+from conftest import SF, make_tpch_db
+
+from repro import BenefitEviction, CreditAdmission, LruEviction
+from repro.bench import mixed_workload, render_table, run_batch
+
+LIMITS = [0.2, 0.4, 0.6, 0.8]
+
+
+def run_config(max_bytes=None, eviction=None, admission=None, recycle=True):
+    db = make_tpch_db(recycle=recycle, max_bytes=max_bytes,
+                      eviction=eviction, admission=admission)
+    batch = mixed_workload(n_instances_each=20, seed=66, sf=SF)
+    result = run_batch(db, batch)
+    return {
+        "seconds": result.total_seconds,
+        "hit_ratio": result.hit_ratio,
+        "final_bytes": db.pool_bytes,
+    }
+
+
+def run_fig11():
+    naive = run_config(recycle=False)
+    unlimited = run_config()
+    total_bytes = unlimited["final_bytes"]
+    configs = {
+        "LRU": dict(eviction=LruEviction()),
+        "BP": dict(eviction=BenefitEviction()),
+        "CRD+LRU": dict(eviction=LruEviction(),
+                        admission=CreditAdmission(5)),
+        "CRD+BP": dict(eviction=BenefitEviction(),
+                       admission=CreditAdmission(5)),
+    }
+    rows = []
+    for pct in LIMITS:
+        limit = max(1 << 20, int(total_bytes * pct))
+        for label, cfg in configs.items():
+            res = run_config(max_bytes=limit, **cfg)
+            rows.append([
+                f"{int(pct * 100)}%", label,
+                round(res["hit_ratio"], 3),
+                round(res["seconds"] / naive["seconds"], 3),
+            ])
+    return {
+        "naive_seconds": naive["seconds"],
+        "unlimited": unlimited,
+        "rows": rows,
+    }
+
+
+def test_fig11_memory_limits(benchmark):
+    data = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        "Fig 11 — eviction under memory limits (time ratio vs naive "
+        f"{data['naive_seconds']:.2f}s; unlimited pool "
+        f"{data['unlimited']['final_bytes'] / 1e6:.1f} MB, hit ratio "
+        f"{data['unlimited']['hit_ratio']:.3f})",
+        ["mem limit", "policy", "hit ratio", "time/naive"],
+        data["rows"],
+    ))
+    assert all(r[3] < 1.0 for r in data["rows"])
+    by_key = {(r[0], r[1]): r for r in data["rows"]}
+    # The tightest memory limit cannot beat the most generous one.
+    assert by_key[("20%", "LRU")][2] <= by_key[("80%", "LRU")][2] + 0.05

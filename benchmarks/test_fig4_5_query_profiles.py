@@ -1,0 +1,84 @@
+"""Figures 4-5 — per-instance profiles of Q11, Q18, Q19, Q14.
+
+Each figure plots, over 10 instances of one template: the recycle-pool hit
+ratio, naive vs recycler execution time, and pool memory (total + reused).
+
+Expected shapes (paper §7.1):
+* Q11 (intra): stable hit ratio and savings from the very first instance.
+* Q18 (inter): near-zero hits on instance 1, very high after; memory flat
+  after the first instance.
+* Q19 (mixed): some first-instance hits, higher afterwards.
+* Q14 (no overlap): tiny hit ratio, memory grows linearly — pure overhead.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import SF, make_tpch_db
+
+from repro.bench import profile_template, render_series
+from repro.workloads.tpch import ParamGenerator
+
+PROFILED = {
+    "q11": "intra-query commonality (Fig 4a)",
+    "q18": "inter-query commonality (Fig 4b)",
+    "q19": "mixed commonality (Fig 5a)",
+    "q14": "limited overlap (Fig 5b)",
+}
+
+
+def distinct_params(pg, name, n):
+    """Fresh qgen substitutions, deduplicated — the paper's instances are
+    distinct parameter sets."""
+    seen, out = set(), []
+    while len(out) < n:
+        p = pg.params_for(name)
+        key = repr(sorted(p.items()))
+        if key not in seen:
+            seen.add(key)
+            out.append(p)
+    return out
+
+
+def run_profile(name: str):
+    db = make_tpch_db()
+    naive = make_tpch_db(recycle=False)
+    pg = ParamGenerator(seed=21, sf=SF)
+    params_list = distinct_params(pg, name, 10)
+    profile = profile_template(db, name, params_list)
+    naive_times = profile_template(naive, name, params_list)
+    for row, nrow in zip(profile, naive_times):
+        row["naive_seconds"] = nrow["seconds"]
+    return profile
+
+
+@pytest.mark.parametrize("name", sorted(PROFILED))
+def test_query_profile(benchmark, name):
+    profile = benchmark.pedantic(run_profile, args=(name,), rounds=1,
+                                 iterations=1)
+    print()
+    print(render_series(
+        f"{name.upper()} profile — {PROFILED[name]} (10 instances)",
+        list(range(1, 11)),
+        {
+            "hit_ratio": [round(p["hit_ratio"], 3) for p in profile],
+            "naive_ms": [round(p["naive_seconds"] * 1e3, 2)
+                         for p in profile],
+            "recycler_ms": [round(p["seconds"] * 1e3, 2) for p in profile],
+            "pool_MB": [round(p["pool_bytes"] / 1e6, 2) for p in profile],
+            "reused_MB": [round(p["reused_bytes"] / 1e6, 2)
+                          for p in profile],
+        },
+    ))
+    later = profile[1:]
+    if name == "q18":
+        assert profile[0]["hit_ratio"] < 0.3
+        assert min(p["hit_ratio"] for p in later) > 0.5
+        # Memory stays flat once the reusable intermediates are pooled.
+        assert profile[-1]["pool_bytes"] < profile[0]["pool_bytes"] * 2.5
+    if name == "q11":
+        assert profile[0]["hit_ratio"] > 0.2   # intra hits from instance 1
+    if name == "q14":
+        assert max(p["hit_ratio"] for p in profile) < 0.5
+        # Pool grows roughly linearly: each instance adds its own results.
+        assert profile[-1]["pool_bytes"] > profile[0]["pool_bytes"] * 3

@@ -1,0 +1,90 @@
+"""Figure 7 — the CREDIT admission policy as the credit budget grows.
+
+Per query (Q11, Q18, Q19), sweeping credits 2..10 with unlimited
+resources: (a) hit ratio relative to KEEPALL, (b) % of pool memory that
+was reused, (c) % of pool entries that were reused.
+
+Expected shapes (paper §7.2): Q11's hit ratio is credit-independent (local
+reuses return credits immediately); Q18/Q19 hit ratios rise with credits;
+resource utilisation (reused fractions) falls as credits grow; KEEPALL is
+the utilisation floor.
+"""
+
+from __future__ import annotations
+
+from conftest import SF, make_tpch_db
+
+from repro import CreditAdmission
+from repro.bench import render_series, reused_entries, reused_memory
+from repro.workloads.tpch import ParamGenerator
+
+QUERIES = ["q11", "q18", "q19"]
+CREDITS = list(range(2, 11))
+
+
+def run_one(name, admission=None):
+    db = make_tpch_db(admission=admission)
+    pg = ParamGenerator(seed=44, sf=SF)
+    hits = potential = 0
+    for _ in range(10):
+        r = db.run_template(name, pg.params_for(name))
+        hits += r.stats.hits
+        potential += r.stats.n_marked
+    mem = db.pool_bytes
+    entries = db.pool_entries
+    return {
+        "hits": hits,
+        "potential": potential,
+        "reused_mem_pct": 100.0 * reused_memory(db) / mem if mem else 0.0,
+        "reused_entries_pct": (
+            100.0 * reused_entries(db) / entries if entries else 0.0
+        ),
+    }
+
+
+def run_fig7():
+    out = {}
+    for name in QUERIES:
+        keepall = run_one(name)
+        series = {"hit_vs_keepall": [], "reused_mem%": [],
+                  "reused_entries%": [],
+                  "keepall_mem%": keepall["reused_mem_pct"],
+                  "keepall_entries%": keepall["reused_entries_pct"]}
+        for k in CREDITS:
+            res = run_one(name, admission=CreditAdmission(credits=k))
+            series["hit_vs_keepall"].append(
+                res["hits"] / max(keepall["hits"], 1)
+            )
+            series["reused_mem%"].append(res["reused_mem_pct"])
+            series["reused_entries%"].append(res["reused_entries_pct"])
+        out[name] = series
+    return out
+
+
+def test_fig7_credit_sweep(benchmark):
+    data = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    for name in QUERIES:
+        s = data[name]
+        print()
+        print(render_series(
+            f"Fig 7 — CREDIT sweep for {name.upper()} "
+            f"(keepall reused mem {s['keepall_mem%']:.0f}%, "
+            f"entries {s['keepall_entries%']:.0f}%)",
+            CREDITS,
+            {
+                "hit/keepall": [round(v, 3) for v in s["hit_vs_keepall"]],
+                "reused mem %": [round(v, 1) for v in s["reused_mem%"]],
+                "reused lines %": [round(v, 1)
+                                   for v in s["reused_entries%"]],
+            },
+        ))
+    # Q11: local reuse makes the hit ratio credit-independent.
+    q11 = data["q11"]["hit_vs_keepall"]
+    assert max(q11) - min(q11) < 0.15
+    # Q18: more credits -> hit ratio approaches keepall.
+    q18 = data["q18"]["hit_vs_keepall"]
+    assert q18[-1] >= q18[0]
+    assert q18[-1] > 0.9
+    # Credit admission beats keepall on memory utilisation for Q19.
+    assert (min(data["q19"]["reused_mem%"])
+            >= data["q19"]["keepall_mem%"] - 1e-9)

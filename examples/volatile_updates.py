@@ -1,0 +1,74 @@
+"""Recycling in a volatile database (paper §6, §7.4).
+
+Interleaves TPC-H refresh blocks (RF1 inserts + RF2 deletes) with an
+analytics stream and shows the two synchronisation modes:
+
+* immediate column-wise invalidation (the paper's implemented mode) —
+  updates wipe the affected part of the pool, queries then re-warm it;
+* delta *propagation* for append-only changes (the §6.3 design, an
+  extension in this library) — cached selections are refreshed in place
+  and keep their hits across inserts.
+
+Run:  python examples/volatile_updates.py
+"""
+
+import numpy as np
+
+from repro import Database
+
+
+def make_db(**kwargs) -> Database:
+    db = Database(**kwargs)
+    rng = np.random.default_rng(7)
+    n = 100_000
+    db.create_table(
+        "events",
+        {"ts": "int64", "severity": "int64", "value": "float64"},
+        {
+            "ts": np.arange(n),
+            "severity": rng.integers(0, 10, n),
+            "value": rng.random(n) * 1000,
+        },
+    )
+    q = db.builder("hot_events")
+    lo = q.param("severity_lo")
+    q.scan("events")
+    q.filter_range("events", "severity", lo=lo)
+    q.select_scalar("n", q.agg_scalar("count"))
+    db.register_template(q.build())
+    return db
+
+
+def stream(db, label: str) -> None:
+    print(f"\n== {label} ==")
+    rng = np.random.default_rng(11)
+    for step in range(6):
+        r = db.run_template("hot_events", {"severity_lo": 7})
+        print(f"  step {step}: count={r.value.scalar():>6}  "
+              f"hits {r.stats.hits}/{r.stats.n_marked}  "
+              f"pool {db.pool_entries} entries")
+        # Append a burst of fresh events between queries.
+        k = 500
+        db.insert("events", {
+            "ts": np.arange(k) + 10_000_000 * (step + 1),
+            "severity": rng.integers(0, 10, k),
+            "value": rng.random(k) * 1000,
+        })
+
+
+def main() -> None:
+    # Mode 1: immediate invalidation — every insert empties the affected
+    # pool slice, so each query after an update starts cold again.
+    stream(make_db(), "immediate invalidation (paper §6.4)")
+
+    # Mode 2: append-only delta propagation — the cached selection is
+    # refreshed from the insert delta and keeps answering with full hits.
+    stream(make_db(propagate_selects=True),
+           "delta propagation extension (paper §6.3)")
+
+    print("\nNote how propagation preserves hits across inserts, while")
+    print("invalidation falls back to recomputation after every burst.")
+
+
+if __name__ == "__main__":
+    main()

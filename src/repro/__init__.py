@@ -1,0 +1,54 @@
+"""repro — recycling intermediates in a column-store.
+
+A from-scratch reproduction of Ivanova, Kersten, Nes & Gonçalves,
+"An Architecture for Recycling Intermediates in a Column-store"
+(SIGMOD 2009 / TODS 2010): an operator-at-a-time column engine whose
+interpreter harvests materialised intermediates into a self-organising
+recycle pool, with admission/eviction policies, instruction subsumption,
+and update invalidation.
+
+Quickstart::
+
+    from repro import Database
+    db = Database()                     # recycler enabled
+    db.create_table("t", {"x": "int64"}, {"x": range(1000)})
+    print(db.execute("select count(*) from t where x >= 500").value.scalar())
+"""
+
+from repro.db import Database
+from repro.core import (
+    AdaptiveCreditAdmission,
+    BenefitEviction,
+    CreditAdmission,
+    HistoryEviction,
+    KeepAllAdmission,
+    LruEviction,
+    Recycler,
+    RecyclerConfig,
+)
+from repro.mal.interpreter import ExecutionStats, Interpreter, InvocationResult
+from repro.mal.operators import ResultSet
+from repro.rel.builder import QueryBuilder
+from repro.storage import BAT, Catalog
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "Recycler",
+    "RecyclerConfig",
+    "KeepAllAdmission",
+    "CreditAdmission",
+    "AdaptiveCreditAdmission",
+    "LruEviction",
+    "BenefitEviction",
+    "HistoryEviction",
+    "Interpreter",
+    "InvocationResult",
+    "ExecutionStats",
+    "ResultSet",
+    "QueryBuilder",
+    "BAT",
+    "Catalog",
+    "__version__",
+]

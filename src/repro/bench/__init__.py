@@ -1,0 +1,33 @@
+"""Benchmark harness: batch runners and paper-style table/series rendering.
+
+Used by the ``benchmarks/`` suite, which regenerates every table and figure
+of the paper's evaluation (§7 TPC-H, §8 SkyServer).  See DESIGN.md for the
+per-experiment index and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro.bench.harness import (
+    BatchResult,
+    QueryRecord,
+    fresh_tpch_db,
+    mixed_workload,
+    profile_template,
+    run_batch,
+    reused_entries,
+    reused_memory,
+    warm_up,
+)
+from repro.bench.reporting import render_series, render_table
+
+__all__ = [
+    "BatchResult",
+    "QueryRecord",
+    "fresh_tpch_db",
+    "mixed_workload",
+    "profile_template",
+    "run_batch",
+    "reused_entries",
+    "reused_memory",
+    "warm_up",
+    "render_series",
+    "render_table",
+]

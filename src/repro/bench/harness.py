@@ -1,0 +1,169 @@
+"""Batch runners and measurement helpers for the benchmark suite.
+
+The experimental protocol follows the paper (§7): databases are *warmed up*
+by executing one instance of each template, the recycle pool is then
+emptied, and measurements start from a hot data / cold pool state.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.db import Database
+from repro.workloads.tpch import (
+    ParamGenerator,
+    build_templates,
+    load_tpch,
+)
+
+#: The paper's mixed workload (§7.2): ten templates with large overlaps.
+MIXED_QUERIES = ["q04", "q07", "q08", "q11", "q12", "q16", "q18", "q19",
+                 "q21", "q22"]
+
+
+@dataclass
+class QueryRecord:
+    """Per-query measurements inside a batch run."""
+
+    template: str
+    seconds: float
+    hits: int
+    marked: int
+    pool_bytes: int
+    pool_entries: int
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.marked if self.marked else 0.0
+
+
+@dataclass
+class BatchResult:
+    """Aggregate of one batch execution."""
+
+    records: List[QueryRecord] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(r.seconds for r in self.records)
+
+    @property
+    def hits(self) -> int:
+        return sum(r.hits for r in self.records)
+
+    @property
+    def potential(self) -> int:
+        return sum(r.marked for r in self.records)
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.potential if self.potential else 0.0
+
+    def cumulative_hit_curve(self) -> List[float]:
+        """Cumulative hits / cumulative potential after each query
+        (the y-axis of Figures 10-11)."""
+        out, h, p = [], 0, 0
+        for r in self.records:
+            h += r.hits
+            p += r.marked
+            out.append(h / p if p else 0.0)
+        return out
+
+
+def fresh_tpch_db(sf: float = 0.01, seed: int = 42,
+                  queries: Optional[Sequence[str]] = None,
+                  **db_kwargs) -> Database:
+    """A loaded TPC-H database with templates compiled."""
+    db = Database(**db_kwargs)
+    load_tpch(db, sf=sf, seed=seed)
+    build_templates(db, queries=queries)
+    return db
+
+
+def warm_up(db: Database, queries: Sequence[str],
+            pg: Optional[ParamGenerator] = None) -> None:
+    """The paper's preparation step: touch hot data, then empty the pool."""
+    pg = pg or ParamGenerator(seed=1234)
+    for name in queries:
+        db.run_template(name, pg.params_for(name))
+    db.reset_recycler()
+
+
+def mixed_workload(n_instances_each: int = 20, seed: int = 77,
+                   queries: Sequence[str] = tuple(MIXED_QUERIES),
+                   sf: float = 0.01) -> List[Tuple[str, Dict[str, Any]]]:
+    """The §7.2 batch: *n* instances of each template, shuffled."""
+    pg = ParamGenerator(seed=seed, sf=sf)
+    items: List[Tuple[str, Dict[str, Any]]] = []
+    for name in queries:
+        for _ in range(n_instances_each):
+            items.append((name, pg.params_for(name)))
+    rng = np.random.default_rng(seed)
+    rng.shuffle(items)
+    return items
+
+
+def run_batch(db: Database,
+              instances: Iterable[Tuple[str, Dict[str, Any]]],
+              on_boundary=None) -> BatchResult:
+    """Execute a batch of (template, params) and record per-query stats.
+
+    *on_boundary*, when given, is called with the query index before each
+    query — the hook the update experiments use to inject refresh blocks.
+    """
+    result = BatchResult()
+    for i, (name, params) in enumerate(instances):
+        if on_boundary is not None:
+            on_boundary(i)
+        t0 = time.perf_counter()
+        r = db.run_template(name, params)
+        dt = time.perf_counter() - t0
+        result.records.append(QueryRecord(
+            template=name,
+            seconds=dt,
+            hits=r.stats.hits,
+            marked=r.stats.n_marked,
+            pool_bytes=db.pool_bytes,
+            pool_entries=db.pool_entries,
+        ))
+    return result
+
+
+def reused_memory(db: Database) -> int:
+    """Bytes held by pool entries that were reused at least once."""
+    if db.recycler is None:
+        return 0
+    return sum(
+        e.nbytes for e in db.recycler.pool.entries() if e.reuse_count > 0
+    )
+
+
+def reused_entries(db: Database) -> int:
+    """Pool entries reused at least once ("reused lines", Fig 7-8)."""
+    if db.recycler is None:
+        return 0
+    return sum(
+        1 for e in db.recycler.pool.entries() if e.reuse_count > 0
+    )
+
+
+def profile_template(db: Database, name: str, params_list,
+                     ) -> List[Dict[str, float]]:
+    """Per-instance profile of one template (Figures 4-5): hit ratio,
+    time, and pool memory after each instance."""
+    out = []
+    for params in params_list:
+        t0 = time.perf_counter()
+        r = db.run_template(name, params)
+        dt = time.perf_counter() - t0
+        out.append({
+            "hit_ratio": r.stats.hit_ratio,
+            "seconds": dt,
+            "pool_bytes": float(db.pool_bytes),
+            "reused_bytes": float(reused_memory(db)),
+        })
+    return out

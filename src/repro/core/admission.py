@@ -1,0 +1,146 @@
+"""Admission policies (paper §4.2 and §7.2).
+
+* :class:`KeepAllAdmission` — baseline: keep everything the optimiser
+  marked, preserving whole execution threads.
+* :class:`CreditAdmission` — each template instruction starts with *k*
+  credits; storing an invocation costs one credit; credits come back on
+  local reuse immediately, and on eviction of a globally reused instance.
+* :class:`AdaptiveCreditAdmission` — the paper's ``ADAPT`` refinement
+  (§7.2): after *k* invocations of a template, instructions that proved
+  reusable get unlimited credits while the rest are shut out.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+from repro.core.pool import RecycleEntry
+
+InstructionKey = Tuple[str, int]  # (template name, pc)
+
+
+class AdmissionPolicy:
+    """Decides whether an executed, marked instruction enters the pool."""
+
+    name = "base"
+
+    def should_admit(self, key: InstructionKey, nbytes: int,
+                     tuples: int) -> bool:
+        raise NotImplementedError
+
+    def on_admit(self, key: InstructionKey) -> None:
+        """Called when an entry was actually stored."""
+
+    def on_local_reuse(self, entry: RecycleEntry) -> None:
+        """Reuse within the admitting invocation."""
+
+    def on_global_reuse(self, entry: RecycleEntry) -> None:
+        """Reuse from a different invocation."""
+
+    def on_evict(self, entry: RecycleEntry) -> None:
+        """Entry left the pool (eviction or invalidation)."""
+
+    def on_invocation_start(self, template: str) -> None:
+        """A template invocation begins (adaptive bookkeeping)."""
+
+
+class KeepAllAdmission(AdmissionPolicy):
+    """Admit every marked instruction (the paper's KEEPALL baseline)."""
+
+    name = "keepall"
+
+    def should_admit(self, key: InstructionKey, nbytes: int,
+                     tuples: int) -> bool:
+        return True
+
+
+class CreditAdmission(AdmissionPolicy):
+    """The economical CREDIT policy.
+
+    Args:
+        credits: initial credits per template instruction (the paper sweeps
+            2..10 in Figure 7).
+    """
+
+    name = "credit"
+
+    def __init__(self, credits: int = 5):
+        if credits < 1:
+            raise ValueError("credits must be >= 1")
+        self.initial_credits = credits
+        self._credits: Dict[InstructionKey, float] = {}
+
+    def _balance(self, key: InstructionKey) -> float:
+        return self._credits.setdefault(key, float(self.initial_credits))
+
+    def credits_of(self, key: InstructionKey) -> float:
+        """Current balance (tests/introspection)."""
+        return self._balance(key)
+
+    def should_admit(self, key: InstructionKey, nbytes: int,
+                     tuples: int) -> bool:
+        return self._balance(key) >= 1
+
+    def on_admit(self, key: InstructionKey) -> None:
+        self._credits[key] = self._balance(key) - 1
+
+    def on_local_reuse(self, entry: RecycleEntry) -> None:
+        # Local reuse returns the credit to the source instruction at once.
+        key = entry.template_key
+        self._credits[key] = self._balance(key) + 1
+
+    def on_evict(self, entry: RecycleEntry) -> None:
+        # A globally reused instance pays its credit back on eviction, so a
+        # proven-useful instruction can re-enter the pool later (§4.2).
+        if entry.has_global_reuse:
+            key = entry.template_key
+            self._credits[key] = self._balance(key) + 1
+
+
+class AdaptiveCreditAdmission(CreditAdmission):
+    """ADAPT (§7.2): credits adapt to observed reuse statistics.
+
+    Starts like CREDIT with *k* credits.  After *k* invocations of a
+    template, its instructions that were reused at least once receive
+    unlimited credits; all others exhaust theirs and are barred.
+    """
+
+    name = "adapt"
+
+    def __init__(self, credits: int = 3):
+        super().__init__(credits)
+        self._invocations: Dict[str, int] = {}
+        self._reused: Dict[InstructionKey, bool] = {}
+        self._frozen: Dict[str, bool] = {}
+
+    def on_invocation_start(self, template: str) -> None:
+        count = self._invocations.get(template, 0) + 1
+        self._invocations[template] = count
+        if count > self.initial_credits and not self._frozen.get(template):
+            self._frozen[template] = True
+
+    def _note_reuse(self, entry: RecycleEntry) -> None:
+        self._reused[entry.template_key] = True
+
+    def on_local_reuse(self, entry: RecycleEntry) -> None:
+        super().on_local_reuse(entry)
+        self._note_reuse(entry)
+
+    def on_global_reuse(self, entry: RecycleEntry) -> None:
+        super().on_global_reuse(entry)
+        self._note_reuse(entry)
+
+    def should_admit(self, key: InstructionKey, nbytes: int,
+                     tuples: int) -> bool:
+        template = key[0]
+        if self._frozen.get(template):
+            if self._reused.get(key):
+                return True            # unlimited credits from here on
+            return False               # never reused -> barred
+        return super().should_admit(key, nbytes, tuples)
+
+    def on_admit(self, key: InstructionKey) -> None:
+        if self._frozen.get(key[0]) and self._reused.get(key):
+            return                     # unlimited credits: nothing to pay
+        super().on_admit(key)

@@ -1,0 +1,11 @@
+"""The recycler optimiser (paper §3.1).
+
+The marking pass itself lives with the other MAL optimisers
+(:mod:`repro.mal.optimizer.recycle_mark`) because it is a plan transform;
+this module re-exports it under the recycler package so the paper's
+"recycler = optimiser + run-time module" structure is visible in the API.
+"""
+
+from repro.mal.optimizer.recycle_mark import mark_for_recycling
+
+__all__ = ["mark_for_recycling"]

@@ -1,0 +1,241 @@
+"""The recycle pool: a cache of intermediates with instruction lineage.
+
+Entries are keyed by *instruction signature* — operator name plus resolved
+argument identities (scalar constants by value, BAT arguments by lineage
+token).  Because a pool hit returns the pooled BAT itself, a re-submitted
+template resolves downstream signatures to pooled tokens exactly when its
+whole instruction prefix matched: the bottom-up sequence matching of design
+alternative 1 (§3.4), with lineage preserved as §4.1 requires.
+
+The pool also maintains the dependency graph between entries (who consumes
+whose result), which the eviction policies need: only *leaf* entries — no
+dependents in the pool — may be evicted (§4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import RecyclerError
+from repro.storage.bat import BAT
+
+Signature = Tuple  # (opname, arg_id, arg_id, ...)
+
+
+def arg_identity(value: Any) -> Tuple:
+    """The matching identity of one resolved argument (run-time value).
+
+    BATs are identified by lineage token; everything else by value.  A
+    tuple tags the namespace so an integer constant can never collide with
+    a token.
+    """
+    if isinstance(value, BAT):
+        return ("b", value.token)
+    return ("c", value)
+
+
+def make_signature(opname: str, args: Iterable[Any]) -> Signature:
+    """Instruction signature from resolved argument values."""
+    return (opname,) + tuple(arg_identity(a) for a in args)
+
+
+@dataclass
+class RecycleEntry:
+    """One pooled intermediate with its execution and reuse statistics."""
+
+    sig: Signature
+    opname: str
+    kind: str
+    value: Any
+    cost: float                      # CPU seconds to compute (§4.3 Cost)
+    nbytes: int                      # bytes owned by the result
+    tuples: int                      # result cardinality
+    template_key: Tuple[str, int]    # (template name, pc) — credit identity
+    invocation_id: int               # admitting invocation (local-reuse test)
+    admitted_at: float
+    last_used: float
+    arg_tokens: Tuple[int, ...] = ()
+    reuse_count: int = 0             # total reuses (paper's k - 1)
+    local_reuses: int = 0
+    global_reuses: int = 0
+    subsumed_reuses: int = 0
+    saved_time: float = 0.0
+    dependents: int = 0              # pool entries consuming our result
+
+    @property
+    def result_token(self) -> Optional[int]:
+        return self.value.token if isinstance(self.value, BAT) else None
+
+    @property
+    def references(self) -> int:
+        """The paper's k: total references = computation + reuses."""
+        return 1 + self.reuse_count
+
+    @property
+    def has_global_reuse(self) -> bool:
+        return self.global_reuses > 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.dependents == 0
+
+
+class RecyclePool:
+    """Signature-keyed store of :class:`RecycleEntry` with dependency counts."""
+
+    def __init__(self):
+        self._by_sig: Dict[Signature, RecycleEntry] = {}
+        self._by_token: Dict[int, RecycleEntry] = {}
+        # (opname, first BAT-arg token) -> entries, for subsumption search.
+        self._by_op_arg: Dict[Tuple[str, int], List[RecycleEntry]] = {}
+        # Incrementally maintained leaf set (entries with no dependents) —
+        # eviction consults this on every admission at the resource limit.
+        self._leaf_sigs: Set[Signature] = set()
+        self.total_bytes = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._by_sig)
+
+    def __contains__(self, sig: Signature) -> bool:
+        return sig in self._by_sig
+
+    def entries(self) -> List[RecycleEntry]:
+        return list(self._by_sig.values())
+
+    def lookup(self, sig: Signature) -> Optional[RecycleEntry]:
+        return self._by_sig.get(sig)
+
+    def entry_for_token(self, token: int) -> Optional[RecycleEntry]:
+        return self._by_token.get(token)
+
+    def candidates(self, opname: str, first_token: int) -> List[RecycleEntry]:
+        """Entries of *opname* whose first BAT argument is *first_token* —
+        the subsumption search space (§5)."""
+        return list(self._by_op_arg.get((opname, first_token), ()))
+
+    # ------------------------------------------------------------------
+    def add(self, entry: RecycleEntry) -> None:
+        if entry.sig in self._by_sig:
+            raise RecyclerError(f"duplicate pool entry for {entry.sig[0]}")
+        self._by_sig[entry.sig] = entry
+        token = entry.result_token
+        if token is not None:
+            self._by_token[token] = entry
+        first = self._first_bat_token(entry.sig)
+        if first is not None:
+            self._by_op_arg.setdefault((entry.opname, first), []).append(entry)
+        for t in entry.arg_tokens:
+            parent = self._by_token.get(t)
+            if parent is not None:
+                parent.dependents += 1
+                self._leaf_sigs.discard(parent.sig)
+        if entry.dependents == 0:
+            self._leaf_sigs.add(entry.sig)
+        self.total_bytes += entry.nbytes
+
+    def remove(self, entry: RecycleEntry) -> None:
+        if entry.sig not in self._by_sig:
+            return
+        if entry.dependents:
+            raise RecyclerError(
+                f"evicting non-leaf entry {entry.opname} "
+                f"({entry.dependents} dependents)"
+            )
+        self._discard(entry)
+
+    def remove_set(self, doomed: Iterable[RecycleEntry]) -> int:
+        """Remove a set of entries regardless of internal dependencies.
+
+        Used by invalidation (§6.4): dependents of a stale entry are
+        themselves stale (sources propagate through operators), so the set
+        is closed under dependency and can be dropped wholesale.
+        """
+        doomed = [e for e in doomed if e.sig in self._by_sig]
+        doomed_tokens = {e.result_token for e in doomed}
+        removed = 0
+        for e in doomed:
+            self._discard(e, skip_parent_tokens=doomed_tokens)
+            removed += 1
+        return removed
+
+    def _discard(self, entry: RecycleEntry,
+                 skip_parent_tokens: Optional[Set[int]] = None) -> None:
+        del self._by_sig[entry.sig]
+        self._leaf_sigs.discard(entry.sig)
+        token = entry.result_token
+        if token is not None:
+            self._by_token.pop(token, None)
+        first = self._first_bat_token(entry.sig)
+        if first is not None:
+            bucket = self._by_op_arg.get((entry.opname, first))
+            if bucket is not None:
+                try:
+                    bucket.remove(entry)
+                except ValueError:
+                    pass
+                if not bucket:
+                    del self._by_op_arg[(entry.opname, first)]
+        for t in entry.arg_tokens:
+            if skip_parent_tokens and t in skip_parent_tokens:
+                continue
+            parent = self._by_token.get(t)
+            if parent is not None:
+                parent.dependents -= 1
+                if parent.dependents == 0:
+                    self._leaf_sigs.add(parent.sig)
+        self.total_bytes -= entry.nbytes
+
+    @staticmethod
+    def _first_bat_token(sig: Signature) -> Optional[int]:
+        for part in sig[1:]:
+            if part[0] == "b":
+                return part[1]
+        return None
+
+    # ------------------------------------------------------------------
+    def leaves(self, protected: Optional[Set[Signature]] = None
+               ) -> List[RecycleEntry]:
+        """Eviction candidates: entries with no dependents, minus protected."""
+        if protected:
+            return [
+                self._by_sig[s] for s in self._leaf_sigs
+                if s not in protected
+            ]
+        return [self._by_sig[s] for s in self._leaf_sigs]
+
+    def stale_entries(self, stale_columns: Set[Tuple[str, str]],
+                      current_versions: Optional[Set[Tuple[str, str, int]]]
+                      = None) -> List[RecycleEntry]:
+        """Entries derived from any ``(table, column)`` in *stale_columns*.
+
+        With *current_versions* given, entries already anchored at the
+        current column version (e.g. just refreshed by delta propagation,
+        §6.3) are not considered stale.
+        """
+        out = []
+        for e in self._by_sig.values():
+            value = e.value
+            if not isinstance(value, BAT):
+                continue
+            for (t, c, v) in value.sources:
+                if (t, c) not in stale_columns:
+                    continue
+                if current_versions and (t, c, v) in current_versions:
+                    continue
+                out.append(e)
+                break
+        return out
+
+    def clear(self) -> List[RecycleEntry]:
+        """Empty the pool, returning the removed entries."""
+        removed = list(self._by_sig.values())
+        self._by_sig.clear()
+        self._by_token.clear()
+        self._by_op_arg.clear()
+        self._leaf_sigs.clear()
+        self.total_bytes = 0
+        for e in removed:
+            e.dependents = 0
+        return removed

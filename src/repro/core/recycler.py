@@ -1,0 +1,495 @@
+"""Recycler run-time support (paper §3.3, Algorithm 1).
+
+The :class:`Recycler` is attached to an interpreter and wraps every marked
+instruction:
+
+* ``recycle_entry`` — exact-match lookup in the pool, then (on miss) the
+  subsumption search of §5; a hit brings the pooled intermediate to the
+  execution stack and skips execution.
+* ``recycle_exit`` — offers a freshly computed result to the pool under
+  the admission policy, cleaning the cache first when a resource limit
+  (bytes and/or entries) would be exceeded.
+
+Update synchronisation (§6.4) enters through :meth:`on_update`: immediate,
+column-wise invalidation, with optional delta propagation for eligible
+select intermediates (the §6.3 design, see :mod:`repro.core.propagation`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.admission import AdmissionPolicy, KeepAllAdmission
+from repro.core.eviction import EvictionPolicy, LruEviction
+from repro.core.pool import (
+    RecycleEntry,
+    RecyclePool,
+    Signature,
+    make_signature,
+)
+from repro.core.subsumption import (
+    Range,
+    SubsumptionOutcome,
+    covers,
+    find_combined_cover,
+    like_subsumes,
+    select_entry_range,
+    split_target_into_segments,
+)
+from repro.errors import RecyclerError
+from repro.mal.program import Instr, MalProgram
+from repro.storage.bat import BAT
+
+
+@dataclass
+class RecyclerConfig:
+    """Tunables of the recycler (§3.2, §4).
+
+    ``max_bytes``/``max_entries`` of None mean unlimited (the paper's
+    KEEPALL/unlimited baseline).  ``overhead_tuples`` is the ``ov`` term of
+    the combined-subsumption cost model (§5.2).
+    """
+
+    max_bytes: Optional[int] = None
+    max_entries: Optional[int] = None
+    subsumption: bool = True
+    combined_subsumption: bool = True
+    propagate_selects: bool = False
+    overhead_tuples: float = 0.0
+
+
+@dataclass
+class RecyclerTotals:
+    """Cumulative counters across the recycler's lifetime."""
+
+    invocations: int = 0
+    exact_hits: int = 0
+    subsumed_hits: int = 0
+    combined_hits: int = 0
+    local_hits: int = 0
+    global_hits: int = 0
+    admissions: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    propagated: int = 0
+    saved_time: float = 0.0
+    subsumption_algo_time: float = 0.0
+    subsumption_algo_calls: int = 0
+    combined_search_time: float = 0.0
+    combined_search_calls: int = 0
+
+
+class Invocation:
+    """Per-invocation recycler state: protection set and statistics."""
+
+    __slots__ = ("id", "program", "stats", "clock", "touched")
+
+    def __init__(self, inv_id: int, program: MalProgram, stats,
+                 clock: Callable[[], float]):
+        self.id = inv_id
+        self.program = program
+        self.stats = stats
+        self.clock = clock
+        #: signatures matched or admitted by this invocation — protected
+        #: from eviction while the query runs (§4.3).
+        self.touched: Set[Signature] = set()
+
+
+@dataclass
+class _Reuse:
+    value: Any
+
+
+class Recycler:
+    """The recycle-pool manager bolted onto the MAL interpreter."""
+
+    SUBSUMABLE_OPS = {
+        "algebra.select",
+        "algebra.uselect",
+        "algebra.inselect",
+        "algebra.likeselect",
+        "algebra.semijoin",
+    }
+
+    def __init__(
+        self,
+        admission: Optional[AdmissionPolicy] = None,
+        eviction: Optional[EvictionPolicy] = None,
+        config: Optional[RecyclerConfig] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.admission = admission or KeepAllAdmission()
+        self.eviction = eviction or LruEviction()
+        self.config = config or RecyclerConfig()
+        self.clock = clock
+        self.pool = RecyclePool()
+        self.totals = RecyclerTotals()
+        self._invocation_seq = 0
+
+    # ------------------------------------------------------------------
+    # Interpreter-facing API (Algorithm 1)
+    # ------------------------------------------------------------------
+    def begin_invocation(self, program: MalProgram, stats,
+                         clock: Callable[[], float]) -> Invocation:
+        self._invocation_seq += 1
+        self.totals.invocations += 1
+        self.admission.on_invocation_start(program.name)
+        return Invocation(self._invocation_seq, program, stats, clock)
+
+    def end_invocation(self, invocation: Optional[Invocation]) -> None:
+        if invocation is not None:
+            invocation.touched.clear()
+
+    def recycle_entry(self, inv: Invocation, instr: Instr, opdef,
+                      args: Tuple) -> Optional[_Reuse]:
+        """Pool lookup (exact, then subsumption).  None means: execute."""
+        sig = make_signature(instr.opname, args)
+        entry = self.pool.lookup(sig)
+        if entry is not None:
+            local = self._record_reuse(inv, entry)
+            inv.stats.hits_exact += 1
+            inv.stats.saved_time += entry.cost
+            if local:
+                inv.stats.saved_local += entry.cost
+                if opdef.kind != "bind":
+                    inv.stats.hits_local_nonbind += 1
+            else:
+                inv.stats.saved_global += entry.cost
+                if opdef.kind != "bind":
+                    inv.stats.hits_global_nonbind += 1
+            self.totals.exact_hits += 1
+            self.totals.saved_time += entry.cost
+            inv.touched.add(entry.sig)
+            return _Reuse(entry.value)
+
+        if (self.config.subsumption
+                and instr.opname in self.SUBSUMABLE_OPS
+                and isinstance(args[0], BAT)):
+            outcome = self._try_subsume(inv, instr.opname, args)
+            if outcome is not None:
+                inv.stats.hits_subsumed += 1
+                self.totals.subsumed_hits += 1
+                if outcome.kind == "combined":
+                    self.totals.combined_hits += 1
+                for used in outcome.used_entries:
+                    self._record_reuse(inv, used, subsumed=True)
+                    inv.touched.add(used.sig)
+                # The (cheaper) subsumed result is admitted under the
+                # original signature so future instances match exactly.
+                self._admit(inv, instr, opdef, sig, args, outcome.value,
+                            elapsed=outcome.algo_seconds)
+                return _Reuse(outcome.value)
+        return None
+
+    def recycle_exit(self, inv: Invocation, instr: Instr, opdef,
+                     args: Tuple, value: Any, elapsed: float) -> None:
+        """Admission decision for a genuinely executed instruction."""
+        sig = make_signature(instr.opname, args)
+        self._admit(inv, instr, opdef, sig, args, value, elapsed)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _record_reuse(self, inv: Invocation, entry: RecycleEntry,
+                      subsumed: bool = False) -> bool:
+        """Update reuse statistics; returns True for a *local* reuse."""
+        entry.reuse_count += 1
+        entry.last_used = inv.clock()
+        entry.saved_time += entry.cost
+        if subsumed:
+            entry.subsumed_reuses += 1
+        if entry.invocation_id == inv.id:
+            entry.local_reuses += 1
+            inv.stats.hits_local += 1
+            self.totals.local_hits += 1
+            self.admission.on_local_reuse(entry)
+            return True
+        entry.global_reuses += 1
+        inv.stats.hits_global += 1
+        self.totals.global_hits += 1
+        self.admission.on_global_reuse(entry)
+        return False
+
+    def _admit(self, inv: Invocation, instr: Instr, opdef, sig: Signature,
+               args: Tuple, value: Any, elapsed: float) -> None:
+        if not isinstance(value, BAT):
+            return
+        if sig in self.pool:
+            return
+        key = (inv.program.name, instr.pc)
+        nbytes = value.owned_nbytes
+        if not self.admission.should_admit(key, nbytes, len(value)):
+            return
+        if self.config.max_bytes is not None and nbytes > self.config.max_bytes:
+            return  # can never fit
+        self._ensure_capacity(inv, nbytes)
+        now = inv.clock()
+        entry = RecycleEntry(
+            sig=sig,
+            opname=instr.opname,
+            kind=opdef.kind,
+            value=value,
+            cost=elapsed,
+            nbytes=nbytes,
+            tuples=len(value),
+            template_key=key,
+            invocation_id=inv.id,
+            admitted_at=now,
+            last_used=now,
+            arg_tokens=tuple(
+                a.token for a in args if isinstance(a, BAT)
+            ),
+        )
+        self.pool.add(entry)
+        self.admission.on_admit(key)
+        inv.touched.add(sig)
+        inv.stats.admitted_entries += 1
+        inv.stats.admitted_bytes += nbytes
+        self.totals.admissions += 1
+
+    def _ensure_capacity(self, inv: Invocation, incoming_bytes: int) -> None:
+        cfg = self.config
+        protected = inv.touched
+
+        def need_bytes() -> int:
+            if cfg.max_bytes is None:
+                return 0
+            return max(0, self.pool.total_bytes + incoming_bytes
+                       - cfg.max_bytes)
+
+        def need_entries() -> int:
+            if cfg.max_entries is None:
+                return 0
+            return max(0, len(self.pool) + 1 - cfg.max_entries)
+
+        dropped_protection = False
+        while need_bytes() > 0 or need_entries() > 0:
+            leaves = self.pool.leaves(protected)
+            if not leaves:
+                if not dropped_protection:
+                    # §4.3 exception: a single query filling the whole pool
+                    # may evict its own intermediates.
+                    dropped_protection = True
+                    protected = set()
+                    continue
+                break
+            victims = self.eviction.pick(
+                leaves, need_bytes(), need_entries(), inv.clock()
+            )
+            if not victims:
+                break
+            for victim in victims:
+                self.pool.remove(victim)
+                self.admission.on_evict(victim)
+                inv.stats.evicted_entries += 1
+                self.totals.evictions += 1
+
+    # ------------------------------------------------------------------
+    # Subsumption (paper §5)
+    # ------------------------------------------------------------------
+    def _try_subsume(self, inv: Invocation, opname: str,
+                     args: Tuple) -> Optional[SubsumptionOutcome]:
+        operand: BAT = args[0]
+        t0 = inv.clock()
+        outcome: Optional[SubsumptionOutcome] = None
+        if opname == "algebra.select":
+            target = Range(args[1], args[2], bool(args[3]), bool(args[4]))
+            outcome = self._subsume_range(inv, operand, target, opname)
+        elif opname == "algebra.uselect":
+            target = Range.point(args[1])
+            outcome = self._subsume_range(inv, operand, target,
+                                          "algebra.uselect",
+                                          point_value=args[1])
+        elif opname == "algebra.inselect":
+            values = list(args[1])
+            if values:
+                target = Range(min(values), max(values), True, True)
+                outcome = self._subsume_range(inv, operand, target,
+                                              "algebra.inselect",
+                                              in_values=tuple(args[1]))
+        elif opname == "algebra.likeselect":
+            outcome = self._subsume_like(inv, operand, args[1])
+        elif opname == "algebra.semijoin":
+            outcome = self._subsume_semijoin(inv, operand, args[1])
+        algo_time = inv.clock() - t0
+        self.totals.subsumption_algo_time += algo_time
+        self.totals.subsumption_algo_calls += 1
+        if outcome is not None:
+            outcome.algo_seconds = algo_time
+        return outcome
+
+    def _range_candidates(self, operand: BAT):
+        out = []
+        for entry in self.pool.candidates("algebra.select", operand.token):
+            rng = select_entry_range(entry)
+            if rng is not None:
+                out.append((rng, entry))
+        return out
+
+    def _subsume_range(self, inv: Invocation, operand: BAT, target: Range,
+                       opname: str, point_value=None,
+                       in_values: Optional[Tuple] = None
+                       ) -> Optional[SubsumptionOutcome]:
+        from repro.mal.operators.selection import (
+            algebra_inselect,
+            algebra_select,
+            algebra_uselect,
+        )
+
+        candidates = self._range_candidates(operand)
+        singles = [
+            (rng, e) for rng, e in candidates if covers(rng, target)
+        ]
+        if singles:
+            # Cost model: smallest intermediate wins (§5.1).
+            _rng, entry = min(singles, key=lambda it: it[1].tuples)
+            source: BAT = entry.value
+            if point_value is not None:
+                result = algebra_uselect(None, source, point_value)
+            elif in_values is not None:
+                result = algebra_inselect(None, source, in_values)
+            else:
+                result = algebra_select(None, source, target.lo, target.hi,
+                                        target.lo_incl, target.hi_incl)
+            result = self._rebase(result, operand)
+            return SubsumptionOutcome(result, [entry], "select")
+
+        if (not self.config.combined_subsumption
+                or opname != "algebra.select"):
+            return None
+        search_start = inv.clock()
+        chosen = find_combined_cover(
+            target,
+            candidates,
+            base_cost=float(len(operand)),
+            overhead=self.config.overhead_tuples,
+        )
+        self.totals.combined_search_time += inv.clock() - search_start
+        self.totals.combined_search_calls += 1
+        if chosen is None or len(chosen) < 2:
+            return None
+        segments = split_target_into_segments(target, chosen)
+        if not segments:
+            return None
+        heads: List[np.ndarray] = []
+        tails: List[np.ndarray] = []
+        used: List[RecycleEntry] = []
+        for seg, entry in segments:
+            piece = algebra_select(None, entry.value, seg.lo, seg.hi,
+                                   seg.lo_incl, seg.hi_incl)
+            heads.append(piece.head_values())
+            tails.append(piece.tail_values())
+            used.append(entry)
+        result = BAT.materialized(
+            np.concatenate(heads) if heads else np.empty(0, np.int64),
+            np.concatenate(tails) if tails else np.empty(0),
+            sources=operand.sources,
+            subset_parent=operand,
+        )
+        return SubsumptionOutcome(result, used, "combined")
+
+    def _subsume_like(self, inv: Invocation, operand: BAT,
+                      pattern: str) -> Optional[SubsumptionOutcome]:
+        from repro.mal.operators.selection import algebra_likeselect
+
+        for entry in self.pool.candidates("algebra.likeselect",
+                                          operand.token):
+            try:
+                cached_pattern = entry.sig[2][1]
+            except (IndexError, TypeError):
+                continue
+            if like_subsumes(cached_pattern, pattern):
+                result = algebra_likeselect(None, entry.value, pattern)
+                result = self._rebase(result, operand)
+                return SubsumptionOutcome(result, [entry], "like")
+        return None
+
+    def _subsume_semijoin(self, inv: Invocation, operand: BAT,
+                          filt: BAT) -> Optional[SubsumptionOutcome]:
+        from repro.mal.operators.joins import algebra_semijoin
+
+        best = None
+        for entry in self.pool.candidates("algebra.semijoin", operand.token):
+            try:
+                v_id = entry.sig[2]
+            except IndexError:
+                continue
+            if v_id[0] != "b":
+                continue
+            if filt.row_subset_of(v_id[1]):
+                if best is None or entry.tuples < best.tuples:
+                    best = entry
+        if best is None:
+            return None
+        result = algebra_semijoin(None, best.value, filt)
+        result = self._rebase(result, operand)
+        return SubsumptionOutcome(result, [best], "semijoin")
+
+    @staticmethod
+    def _rebase(result: BAT, operand: BAT) -> BAT:
+        """Re-anchor subset lineage at the original operand.
+
+        A subsumed execution computes over a pooled intermediate, but the
+        logical operand is the original BAT; downstream subsumption checks
+        must see the result as a subset of *that*.  (The chain through the
+        pooled intermediate already contains the operand, so this is just
+        a normalisation of ``subset_of``.)
+        """
+        result.subset_of = operand.token
+        if operand.token not in result.subset_chain:
+            result.subset_chain = result.subset_chain + (operand.token,)
+        return result
+
+    # ------------------------------------------------------------------
+    # Update synchronisation (paper §6)
+    # ------------------------------------------------------------------
+    def on_update(self, table: str, columns: Sequence[str],
+                  catalog=None, delta=None) -> int:
+        """Synchronise the pool after a committed update.
+
+        Default mode (the paper's §6.4): immediate column-wise
+        invalidation.  With ``propagate_selects`` enabled and an
+        append-only delta available, eligible select intermediates are
+        refreshed in place instead (§6.3).
+        """
+        propagated = 0
+        if (self.config.propagate_selects and catalog is not None
+                and delta is not None and delta.append_only):
+            from repro.core.propagation import propagate_append
+
+            propagated = propagate_append(self, catalog, delta)
+            self.totals.propagated += propagated
+        stale_columns = {(table, c) for c in columns}
+        current_versions = None
+        if catalog is not None and catalog.has_table(table):
+            tab = catalog.table(table)
+            current_versions = {
+                (table, c, tab.versions[c]) for c in columns
+            }
+        stale = self.pool.stale_entries(stale_columns, current_versions)
+        removed = self.pool.remove_set(stale)
+        for entry in stale:
+            self.admission.on_evict(entry)
+        self.totals.invalidations += removed
+        return removed
+
+    def recycle_reset(self) -> int:
+        """Drop the whole pool (the paper's ``RecycleReset``)."""
+        removed = self.pool.clear()
+        for entry in removed:
+            self.admission.on_evict(entry)
+        self.totals.invalidations += len(removed)
+        return len(removed)
+
+    # ------------------------------------------------------------------
+    @property
+    def memory_used(self) -> int:
+        return self.pool.total_bytes
+
+    @property
+    def entry_count(self) -> int:
+        return len(self.pool)

@@ -1,0 +1,88 @@
+"""Pool introspection and reporting (the shape of the paper's Table III).
+
+``pool_report`` summarises the recycle pool per instruction kind: entries
+("cache lines"), memory, average computation time, how many lines were
+reused, total reuses, and average time saved per reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.pool import RecyclePool
+
+
+@dataclass
+class KindRow:
+    """One row of the pool report (per instruction kind)."""
+
+    kind: str
+    entries: int = 0
+    nbytes: int = 0
+    total_cost: float = 0.0
+    reused_entries: int = 0
+    reuses: int = 0
+    saved_time: float = 0.0
+
+    @property
+    def avg_cost_ms(self) -> float:
+        return (self.total_cost / self.entries * 1e3) if self.entries else 0.0
+
+    @property
+    def avg_saved_ms(self) -> float:
+        return (self.saved_time / self.reuses * 1e3) if self.reuses else 0.0
+
+    @property
+    def mbytes(self) -> float:
+        return self.nbytes / (1024 * 1024)
+
+
+@dataclass
+class PoolReport:
+    """Aggregated pool content: rows per kind plus totals."""
+
+    rows: List[KindRow] = field(default_factory=list)
+
+    @property
+    def total(self) -> KindRow:
+        agg = KindRow(kind="total")
+        for row in self.rows:
+            agg.entries += row.entries
+            agg.nbytes += row.nbytes
+            agg.total_cost += row.total_cost
+            agg.reused_entries += row.reused_entries
+            agg.reuses += row.reuses
+            agg.saved_time += row.saved_time
+        return agg
+
+    def render(self) -> str:
+        """Fixed-width text table in the spirit of the paper's Table III."""
+        header = (
+            f"{'kind':<10}{'lines':>7}{'MB':>9}{'avg ms':>9}"
+            f"{'reused':>8}{'reuses':>8}{'avg saved ms':>14}"
+        )
+        lines = [header, "-" * len(header)]
+        for row in self.rows + [self.total]:
+            lines.append(
+                f"{row.kind:<10}{row.entries:>7}{row.mbytes:>9.1f}"
+                f"{row.avg_cost_ms:>9.2f}{row.reused_entries:>8}"
+                f"{row.reuses:>8}{row.avg_saved_ms:>14.2f}"
+            )
+        return "\n".join(lines)
+
+
+def pool_report(pool: RecyclePool) -> PoolReport:
+    """Summarise *pool* per instruction kind, largest memory first."""
+    by_kind: Dict[str, KindRow] = {}
+    for entry in pool.entries():
+        row = by_kind.setdefault(entry.kind, KindRow(kind=entry.kind))
+        row.entries += 1
+        row.nbytes += entry.nbytes
+        row.total_cost += entry.cost
+        if entry.reuse_count:
+            row.reused_entries += 1
+        row.reuses += entry.reuse_count
+        row.saved_time += entry.saved_time
+    rows = sorted(by_kind.values(), key=lambda r: -r.nbytes)
+    return PoolReport(rows)

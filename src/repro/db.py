@@ -1,0 +1,213 @@
+"""The database facade: catalogue + interpreter + recycler + template cache.
+
+This is the user-facing entry point of the library::
+
+    from repro import Database
+    db = Database()                      # recycler on, keepall/unlimited
+    db.create_table("t", {"k": "int64"}, {"k": range(10)})
+    result = db.execute("select count(*) from t where k >= 3")
+
+Queries compile once into parametrised *templates* (literals factored out,
+§2.2) cached by normalised text, so repeated queries — even with different
+constants — re-execute the same plan and exercise the recycler.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Union
+
+from repro.core.admission import AdmissionPolicy, KeepAllAdmission
+from repro.core.eviction import EvictionPolicy, LruEviction
+from repro.core.invalidation import synchronize
+from repro.core.recycler import Recycler, RecyclerConfig
+from repro.core.stats import PoolReport, pool_report
+from repro.errors import CatalogError
+from repro.mal.interpreter import Interpreter, InvocationResult
+from repro.mal.program import MalProgram
+from repro.rel.builder import QueryBuilder
+from repro.storage.catalog import Catalog, ColumnDef, TableDef
+
+
+class Database:
+    """An embedded column-store instance with an optional recycler.
+
+    Args:
+        recycle: attach the recycler (default True).  ``False`` gives the
+            paper's "naive" baseline.
+        admission/eviction: recycler policies (default keepall + LRU).
+        max_bytes/max_entries: recycle-pool resource limits (None =
+            unlimited).
+        subsumption/combined_subsumption: enable §5 features.
+        propagate_selects: enable the §6.3 delta-propagation extension.
+        clock: injectable time source for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        *,
+        recycle: bool = True,
+        admission: Optional[AdmissionPolicy] = None,
+        eviction: Optional[EvictionPolicy] = None,
+        max_bytes: Optional[int] = None,
+        max_entries: Optional[int] = None,
+        subsumption: bool = True,
+        combined_subsumption: bool = True,
+        propagate_selects: bool = False,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.catalog = Catalog()
+        self.recycler: Optional[Recycler] = None
+        if recycle:
+            self.recycler = Recycler(
+                admission=admission,
+                eviction=eviction,
+                config=RecyclerConfig(
+                    max_bytes=max_bytes,
+                    max_entries=max_entries,
+                    subsumption=subsumption,
+                    combined_subsumption=combined_subsumption,
+                    propagate_selects=propagate_selects,
+                ),
+                clock=clock,
+            )
+        self.interpreter = Interpreter(self.catalog, recycler=self.recycler,
+                                       clock=clock)
+        self._templates: Dict[str, MalProgram] = {}
+        self._sql_cache: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+    def create_table(self, name: str, columns: Mapping[str, str],
+                     data: Mapping[str, Sequence],
+                     primary_key: Optional[str] = None):
+        """Create a table from ``{column: dtype}`` plus column-wise data."""
+        tdef = TableDef(
+            name,
+            [ColumnDef(c, dt) for c, dt in columns.items()],
+            primary_key=primary_key,
+        )
+        return self.catalog.create_table(tdef, data)
+
+    def drop_table(self, name: str) -> None:
+        self.catalog.drop_table(name)
+        if self.recycler is not None:
+            # Dependent intermediates must go at once (§6.3 DDL handling).
+            table_cols = {
+                (name, c)
+                for e in self.recycler.pool.entries()
+                for (t, c, _v) in getattr(e.value, "sources", frozenset())
+                if t == name
+            }
+            stale = self.recycler.pool.stale_entries(table_cols)
+            self.recycler.pool.remove_set(stale)
+
+    def add_foreign_key(self, name: str, fk_table: str, fk_column: str,
+                        pk_table: str, pk_column: str) -> None:
+        self.catalog.add_foreign_key(name, fk_table, fk_column,
+                                     pk_table, pk_column)
+
+    # ------------------------------------------------------------------
+    # DML (update synchronisation per §6)
+    # ------------------------------------------------------------------
+    def insert(self, table: str, rows: Mapping[str, Sequence]) -> None:
+        delta = self.catalog.insert(table, rows)
+        if self.recycler is not None:
+            synchronize(self.recycler, self.catalog, delta)
+
+    def delete_oids(self, table: str, oids: Sequence[int]) -> None:
+        delta = self.catalog.delete_oids(table, oids)
+        if self.recycler is not None:
+            synchronize(self.recycler, self.catalog, delta)
+
+    def update_column(self, table: str, column: str, oids: Sequence[int],
+                      values: Sequence) -> None:
+        delta = self.catalog.update_column(table, column, oids, values)
+        if self.recycler is not None:
+            synchronize(self.recycler, self.catalog, delta)
+
+    # ------------------------------------------------------------------
+    # Templates
+    # ------------------------------------------------------------------
+    def builder(self, name: str) -> QueryBuilder:
+        """A fresh :class:`QueryBuilder` against this database."""
+        return QueryBuilder(self.catalog, name)
+
+    def register_template(self, program: MalProgram) -> MalProgram:
+        """Put a compiled template in the query cache."""
+        self._templates[program.name] = program
+        return program
+
+    def template(self, name: str) -> MalProgram:
+        try:
+            return self._templates[name]
+        except KeyError:
+            raise CatalogError(f"unknown template {name!r}")
+
+    def has_template(self, name: str) -> bool:
+        return name in self._templates
+
+    def run_template(self, template: Union[str, MalProgram],
+                     params: Optional[Dict[str, Any]] = None
+                     ) -> InvocationResult:
+        """Execute a cached (or given) template with parameter bindings."""
+        program = (
+            self.template(template) if isinstance(template, str) else template
+        )
+        return self.interpreter.run(program, params)
+
+    # ------------------------------------------------------------------
+    # SQL
+    # ------------------------------------------------------------------
+    def execute(self, sql: str,
+                params: Optional[Dict[str, Any]] = None) -> InvocationResult:
+        """Compile (with template caching) and run a SQL query.
+
+        Literal constants are factored out into template parameters; the
+        same query shape with different constants reuses the compiled
+        template — and, through the recycler, its intermediates.
+        """
+        from repro.sql.planner import compile_sql, normalize_sql
+
+        key, literals = normalize_sql(sql)
+        compiled = self._sql_cache.get(key)
+        if compiled is None:
+            compiled = compile_sql(self, sql)
+            self._sql_cache[key] = compiled
+        # Bind this instance's literals to the template's parameters.
+        bound = {
+            name: literals[int(name[1:])]
+            for name in compiled.program.params
+            if name.startswith("p") and name[1:].isdigit()
+        }
+        # IN-lists bind the whole tuple to the first literal's parameter.
+        for name, default in compiled.default_params.items():
+            if isinstance(default, tuple) and name in bound:
+                idx = int(name[1:])
+                bound[name] = tuple(literals[idx:idx + len(default)])
+        if params:
+            bound.update(params)
+        return self.interpreter.run(compiled.program, bound)
+
+    # ------------------------------------------------------------------
+    # Recycler control / introspection
+    # ------------------------------------------------------------------
+    def recycler_report(self) -> Optional[PoolReport]:
+        if self.recycler is None:
+            return None
+        return pool_report(self.recycler.pool)
+
+    def reset_recycler(self) -> int:
+        """Empty the recycle pool (the paper's experiment preparation)."""
+        if self.recycler is None:
+            return 0
+        return self.recycler.recycle_reset()
+
+    @property
+    def pool_bytes(self) -> int:
+        return self.recycler.memory_used if self.recycler else 0
+
+    @property
+    def pool_entries(self) -> int:
+        return self.recycler.entry_count if self.recycler else 0

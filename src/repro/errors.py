@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro column-store.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class.  The sub-classes follow the
+layering of the system: storage, plan/interpreter, SQL front-end, and the
+recycler itself.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class StorageError(ReproError):
+    """Errors raised by the BAT storage layer."""
+
+
+class BatTypeError(StorageError):
+    """An operator received a BAT of an incompatible type."""
+
+
+class CatalogError(ReproError):
+    """Unknown schema objects, duplicate definitions, and the like."""
+
+
+class PlanError(ReproError):
+    """Malformed MAL programs: unknown opcodes, bad variable references."""
+
+
+class InterpreterError(ReproError):
+    """Run-time failures during MAL plan interpretation."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class SqlSyntaxError(SqlError):
+    """The SQL text could not be tokenised or parsed."""
+
+
+class SqlBindError(SqlError):
+    """Name resolution failed (unknown table/column/function)."""
+
+
+class RecyclerError(ReproError):
+    """Internal recycler failures (policy misconfiguration etc.)."""
+
+
+class UpdateError(ReproError):
+    """Errors while applying DML statements to tables."""

@@ -1,0 +1,30 @@
+"""MAL-like execution engine: plans, kernel operators, interpreter, optimisers.
+
+The paper's recycler lives at the level of the MonetDB Assembly Language
+(MAL): linear programs of relational-algebra instructions interpreted
+one-at-a-time (§2.2).  This package provides the equivalent substrate:
+
+* :mod:`repro.mal.program` — instruction/program representation and the
+  low-level program builder (query templates with factored-out literals).
+* :mod:`repro.mal.operators` — the kernel operator library (select, join,
+  group/aggregate, viewpoint ops, column arithmetic).
+* :mod:`repro.mal.interpreter` — the linear interpreter with the recycler
+  hooks of Algorithm 1.
+* :mod:`repro.mal.optimizer` — the optimiser pipeline (dead-code
+  elimination, recycler marking, garbage collection).
+"""
+
+from repro.mal.program import Arg, Const, Instr, MalProgram, ProgramBuilder, VarRef
+from repro.mal.interpreter import ExecutionStats, Interpreter, InvocationResult
+
+__all__ = [
+    "Arg",
+    "Const",
+    "Instr",
+    "MalProgram",
+    "ProgramBuilder",
+    "VarRef",
+    "ExecutionStats",
+    "Interpreter",
+    "InvocationResult",
+]

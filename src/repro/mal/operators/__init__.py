@@ -1,0 +1,68 @@
+"""Kernel operator library and registry.
+
+Operators are registered by MAL-style name (``algebra.select``,
+``bat.reverse``, ...) with metadata the optimisers need:
+
+* ``recyclable`` — whether the recycler optimiser may mark instructions of
+  this operator (§3.1: cheap scalar expressions and side-effecting
+  operations are never marked);
+* ``sideeffect`` — bars dead-code elimination;
+* ``kind`` — coarse class used for reporting (Table III groups the pool
+  content by instruction type).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.errors import PlanError
+
+
+@dataclass(frozen=True)
+class OpDef:
+    """Registered operator: implementation plus optimiser metadata."""
+
+    name: str
+    fn: Callable
+    recyclable: bool
+    sideeffect: bool
+    kind: str
+
+
+OPERATORS: Dict[str, OpDef] = {}
+
+
+def register(name: str, *, recyclable: bool = True, sideeffect: bool = False,
+             kind: str = "other") -> Callable:
+    """Class decorator registering *fn* under the MAL operator *name*."""
+
+    def deco(fn: Callable) -> Callable:
+        if name in OPERATORS:
+            raise PlanError(f"duplicate operator registration: {name}")
+        OPERATORS[name] = OpDef(name, fn, recyclable, sideeffect, kind)
+        return fn
+
+    return deco
+
+
+def get_op(name: str) -> OpDef:
+    try:
+        return OPERATORS[name]
+    except KeyError:
+        raise PlanError(f"unknown MAL operator {name!r}")
+
+
+# Populate the registry.
+from repro.mal.operators import access  # noqa: E402,F401
+from repro.mal.operators import selection  # noqa: E402,F401
+from repro.mal.operators import joins  # noqa: E402,F401
+from repro.mal.operators import views  # noqa: E402,F401
+from repro.mal.operators import groupby  # noqa: E402,F401
+from repro.mal.operators import calc  # noqa: E402,F401
+from repro.mal.operators import sorting  # noqa: E402,F401
+from repro.mal.operators import results  # noqa: E402,F401
+
+from repro.mal.operators.results import ResultSet  # noqa: E402
+
+__all__ = ["OPERATORS", "OpDef", "register", "get_op", "ResultSet"]

@@ -1,0 +1,88 @@
+"""Result-set construction: the final step of every query plan.
+
+``sql.resultset`` gathers positionally aligned output columns into a
+:class:`ResultSet`; ``sql.exportValue`` wraps a single scalar.  Neither is
+recyclable — they are per-invocation artefacts, not relational
+intermediates (§3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InterpreterError
+from repro.storage.bat import BAT
+from repro.mal.operators import register
+
+
+class ResultSet:
+    """A query result: named columns of equal length.
+
+    Provides just enough of a DB-API-ish surface for tests, examples and
+    benchmarks: ``len``, ``column(name)``, ``rows()``, ``scalar()``.
+    """
+
+    def __init__(self, names: Sequence[str], columns: Sequence[np.ndarray]):
+        if len(names) != len(columns):
+            raise InterpreterError("resultset: names/columns mismatch")
+        lengths = {len(c) for c in columns}
+        if len(lengths) > 1:
+            raise InterpreterError(f"resultset: ragged columns {lengths}")
+        self.names = list(names)
+        self.columns = [np.asarray(c) for c in columns]
+
+    def __len__(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    @property
+    def width(self) -> int:
+        return len(self.names)
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self.columns[self.names.index(name)]
+        except ValueError:
+            raise InterpreterError(f"result has no column {name!r}")
+
+    def rows(self) -> List[Tuple]:
+        """All rows as Python tuples (tests/examples only)."""
+        return [tuple(col[i].item() if hasattr(col[i], "item") else col[i]
+                      for col in self.columns)
+                for i in range(len(self))]
+
+    def scalar(self) -> Any:
+        """The single value of a 1x1 result."""
+        if len(self) != 1 or self.width != 1:
+            raise InterpreterError(
+                f"scalar() on a {len(self)}x{self.width} result"
+            )
+        value = self.columns[0][0]
+        return value.item() if hasattr(value, "item") else value
+
+    def __repr__(self) -> str:
+        return f"ResultSet({self.names}, {len(self)} rows)"
+
+
+@register("sql.resultset", recyclable=False, kind="result")
+def sql_resultset(ctx, names: Tuple[str, ...], *cols: BAT) -> ResultSet:
+    """Build a result set from aligned output BATs (tails become columns)."""
+    return ResultSet(list(names), [c.tail_values() for c in cols])
+
+
+@register("sql.exportValue", recyclable=False, kind="result")
+def sql_export_value(ctx, name: str, value) -> ResultSet:
+    """Wrap a scalar into a 1x1 result set."""
+    if value is None:
+        return ResultSet([name], [np.array([np.nan])])
+    return ResultSet([name], [np.array([value])])
+
+
+@register("sql.scalarrow", recyclable=False, kind="result")
+def sql_scalarrow(ctx, names: Tuple[str, ...], *values) -> ResultSet:
+    """A single-row result from scalar values (global aggregates)."""
+    cols = [
+        np.array([np.nan]) if v is None else np.array([v]) for v in values
+    ]
+    return ResultSet(list(names), cols)

@@ -1,0 +1,31 @@
+"""Zero-cost viewpoint operators: ``bat.reverse``, ``bat.mirror``,
+``algebra.markT`` (paper §2.2).
+
+These materialise only a new viewpoint over existing storage — no data is
+copied, and the resulting BATs own no bytes, so keeping them in the recycle
+pool is effectively free (they exist to preserve instruction lineage for
+bottom-up sequence matching, §4.1).
+"""
+
+from __future__ import annotations
+
+from repro.storage.bat import BAT
+from repro.mal.operators import register
+
+
+@register("bat.reverse", kind="view")
+def bat_reverse(ctx, bat: BAT) -> BAT:
+    """Swap head and tail."""
+    return bat.reverse()
+
+
+@register("bat.mirror", kind="view")
+def bat_mirror(ctx, bat: BAT) -> BAT:
+    """Tail becomes a mirror of the head."""
+    return bat.mirror()
+
+
+@register("algebra.markT", kind="view")
+def algebra_markt(ctx, bat: BAT, base: int = 0) -> BAT:
+    """Replace the tail with a fresh dense oid sequence starting at *base*."""
+    return bat.mark(base)

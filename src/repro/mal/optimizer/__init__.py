@@ -1,0 +1,19 @@
+"""Optimiser pipeline for MAL templates.
+
+Mirrors the relevant slice of MonetDB's optimiser chain (§2.2, §3.1): the
+recycler marking pass runs *after* dead-code elimination (so useless
+instructions never pollute the pool) and *before* garbage-collection
+injection (so pooled intermediates are not freed).
+"""
+
+from repro.mal.optimizer.pipeline import optimize
+from repro.mal.optimizer.dead_code import eliminate_dead_code
+from repro.mal.optimizer.recycle_mark import mark_for_recycling
+from repro.mal.optimizer.garbage_collect import inject_garbage_collection
+
+__all__ = [
+    "optimize",
+    "eliminate_dead_code",
+    "mark_for_recycling",
+    "inject_garbage_collection",
+]

@@ -1,0 +1,37 @@
+"""Dead-code elimination: drop instructions whose results are never used.
+
+Higher-level plan generators (the relational builder, the SQL planner) are
+free to emit generously; this pass keeps the executed template tight, which
+matters to the recycler because marked-but-useless instructions would
+otherwise claim pool resources.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.mal.operators import get_op
+from repro.mal.program import MalProgram
+
+
+def eliminate_dead_code(program: MalProgram) -> MalProgram:
+    """Return a program with unused, side-effect-free instructions removed."""
+    live: Set[int] = set()
+    if program.result_var is not None:
+        live.add(program.result_var)
+    keep = [False] * len(program.instrs)
+    for pc in range(len(program.instrs) - 1, -1, -1):
+        instr = program.instrs[pc]
+        opdef = get_op(instr.opname)
+        if opdef.sideeffect or instr.result in live:
+            keep[pc] = True
+            live.update(instr.arg_vars())
+    instrs = [ins for ins, k in zip(program.instrs, keep) if k]
+    return MalProgram(
+        program.name,
+        instrs,
+        program.nvars,
+        program.params,
+        result_var=program.result_var,
+        var_names=program.var_names,
+    )

@@ -1,0 +1,31 @@
+"""Garbage-collection injection: free stack slots after their last use.
+
+MonetDB's optimiser chain injects explicit garbage-collection statements to
+reduce the execution footprint (§2.2).  Our analogue records, per
+instruction index, the variables whose last use just passed; the
+interpreter clears those stack slots.  Pooled intermediates survive —
+the recycle pool holds its own references.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.mal.program import MalProgram
+
+
+def inject_garbage_collection(program: MalProgram) -> MalProgram:
+    """Fill ``program.free_after`` (and return the program)."""
+    last_use: Dict[int, int] = {}
+    for pc, instr in enumerate(program.instrs):
+        for v in instr.arg_vars():
+            last_use[v] = pc
+    protected = set(program.params.values())
+    if program.result_var is not None:
+        protected.add(program.result_var)
+    free_after: Dict[int, List[int]] = {}
+    for var, pc in last_use.items():
+        if var not in protected:
+            free_after.setdefault(pc, []).append(var)
+    program.free_after = free_after
+    return program

@@ -1,0 +1,40 @@
+"""The recycler optimiser: mark instructions worth monitoring (paper §3.1).
+
+An instruction is marked when its operator is recyclable and *all* its
+arguments are constants, template parameters, values derived from
+parameters by cheap scalar expressions, or results of already-marked
+instructions.  The net effect is exactly the paper's: operator threads
+rooted at ``sql.bind`` are marked and the property propagates through the
+plan as far as possible (Figure 2), while cheap scalar expressions and
+side-effecting operations are skipped.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.mal.operators import get_op
+from repro.mal.program import MalProgram
+
+
+def mark_for_recycling(program: MalProgram) -> MalProgram:
+    """Set ``Instr.recycle`` in place (and return the program)."""
+    # Variables whose values are derivable from the template parameters
+    # alone — the paper treats these like constants for marking purposes.
+    transparent: Set[int] = set(program.params.values())
+    # Variables holding results of marked (monitored) instructions.
+    marked_vars: Set[int] = set()
+
+    for instr in program.instrs:
+        opdef = get_op(instr.opname)
+        deps_ok = all(
+            v in transparent or v in marked_vars for v in instr.arg_vars()
+        )
+        if opdef.recyclable and deps_ok and not opdef.sideeffect:
+            instr.recycle = True
+            marked_vars.add(instr.result)
+        else:
+            instr.recycle = False
+            if opdef.kind == "scalar" and deps_ok:
+                transparent.add(instr.result)
+    return program

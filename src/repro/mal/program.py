@@ -1,0 +1,204 @@
+"""MAL program representation.
+
+A :class:`MalProgram` is a *query template* (paper §2.2): a linear list of
+instructions over a flat variable space, parametrised by the literal
+constants factored out of the original query.  Templates are compiled once,
+cached, and executed many times with different parameter bindings — the
+property that gives the recycler its inter-query reuse opportunities.
+
+Instructions reference their inputs either as :class:`Const` (embedded
+constants) or :class:`VarRef` (results of earlier instructions or template
+parameters).  The representation is deliberately simple — a list — because
+the recycler's design leans on the linear, interpretable form of MAL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import PlanError
+
+
+@dataclass(frozen=True)
+class VarRef:
+    """Reference to a program variable (instruction result or parameter)."""
+
+    index: int
+
+    def __repr__(self) -> str:
+        return f"X{self.index}"
+
+
+@dataclass(frozen=True)
+class Const:
+    """A constant embedded in the plan."""
+
+    value: Any
+
+    def __repr__(self) -> str:
+        return f"{self.value!r}"
+
+
+Arg = Union[VarRef, Const]
+
+
+@dataclass
+class Instr:
+    """One MAL instruction: ``result := opname(args...)``.
+
+    ``recycle`` is set by the recycler optimiser (§3.1) for instructions
+    whose results the run-time should monitor.
+    """
+
+    opname: str
+    result: int
+    args: Tuple[Arg, ...]
+    recycle: bool = False
+    #: position in the template; with the template name it forms the stable
+    #: instruction identity used by the credit admission policy (§4.2).
+    pc: int = -1
+
+    def arg_vars(self) -> List[int]:
+        return [a.index for a in self.args if isinstance(a, VarRef)]
+
+    def render(self, names: Optional[Dict[int, str]] = None) -> str:
+        def nm(i: int) -> str:
+            return (names or {}).get(i, f"X{i}")
+
+        rendered = ", ".join(
+            nm(a.index) if isinstance(a, VarRef) else repr(a.value)
+            for a in self.args
+        )
+        mark = "*" if self.recycle else " "
+        return f"{mark} {nm(self.result)} := {self.opname}({rendered})"
+
+
+class MalProgram:
+    """A compiled query template.
+
+    Attributes:
+        name: template identity (used by credit bookkeeping, §4.2).
+        instrs: the linear instruction list.
+        nvars: size of the variable space.
+        params: parameter name -> variable index.
+        result_var: variable holding the invocation result (or None).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        instrs: List[Instr],
+        nvars: int,
+        params: Dict[str, int],
+        result_var: Optional[int] = None,
+        var_names: Optional[Dict[int, str]] = None,
+    ):
+        self.name = name
+        self.instrs = instrs
+        self.nvars = nvars
+        self.params = dict(params)
+        self.result_var = result_var
+        self.var_names = var_names or {}
+        self._validate()
+        #: per-instruction index of the last instruction using each var,
+        #: filled in by the garbage-collection optimiser.
+        self.free_after: Dict[int, List[int]] = {}
+
+    def _validate(self) -> None:
+        defined = set(self.params.values())
+        for pc, ins in enumerate(self.instrs):
+            ins.pc = pc
+            for v in ins.arg_vars():
+                if v not in defined:
+                    raise PlanError(
+                        f"{self.name}: instruction {pc} ({ins.opname}) uses "
+                        f"undefined variable X{v}"
+                    )
+            if ins.result in self.params.values():
+                raise PlanError(
+                    f"{self.name}: instruction {pc} overwrites parameter "
+                    f"X{ins.result}"
+                )
+            defined.add(ins.result)
+        if self.result_var is not None and self.result_var not in defined:
+            raise PlanError(f"{self.name}: result variable never defined")
+
+    @property
+    def n_marked(self) -> int:
+        """Number of instructions marked for recycling."""
+        return sum(1 for i in self.instrs if i.recycle)
+
+    def render(self) -> str:
+        """Human-readable listing (marked instructions prefixed with ``*``)."""
+        header = f"function {self.name}({', '.join(self.params)}):"
+        body = [ins.render(self.var_names) for ins in self.instrs]
+        return "\n".join([header] + ["  " + line for line in body] + ["end"])
+
+    def __repr__(self) -> str:
+        return (
+            f"MalProgram({self.name!r}, {len(self.instrs)} instrs, "
+            f"{self.n_marked} marked)"
+        )
+
+
+class ProgramBuilder:
+    """Low-level builder emitting instructions into a fresh variable space.
+
+    Higher layers (the relational builder, the SQL planner) use this to
+    assemble templates::
+
+        b = ProgramBuilder("q6")
+        lo = b.param("date_lo")
+        col = b.emit("sql.bind", Const("lineitem"), Const("l_shipdate"))
+        sel = b.emit("algebra.select", col, lo, b.const(None), ...)
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._instrs: List[Instr] = []
+        self._params: Dict[str, int] = {}
+        self._nvars = 0
+        self._names: Dict[int, str] = {}
+        self._result: Optional[int] = None
+
+    def _new_var(self, label: Optional[str] = None) -> VarRef:
+        idx = self._nvars
+        self._nvars += 1
+        if label:
+            self._names[idx] = label
+        return VarRef(idx)
+
+    def param(self, name: str) -> VarRef:
+        """Declare a template parameter, returning its variable."""
+        if name in self._params:
+            return VarRef(self._params[name])
+        var = self._new_var(f"A_{name}")
+        self._params[name] = var.index
+        return var
+
+    def const(self, value: Any) -> Const:
+        return Const(value)
+
+    def emit(self, opname: str, *args: Union[Arg, Any],
+             label: Optional[str] = None) -> VarRef:
+        """Append an instruction; bare Python values become constants."""
+        norm = tuple(
+            a if isinstance(a, (VarRef, Const)) else Const(a) for a in args
+        )
+        out = self._new_var(label)
+        self._instrs.append(Instr(opname, out.index, norm))
+        return out
+
+    def set_result(self, var: VarRef) -> None:
+        self._result = var.index
+
+    def build(self) -> MalProgram:
+        return MalProgram(
+            self.name,
+            self._instrs,
+            self._nvars,
+            self._params,
+            result_var=self._result,
+            var_names=self._names,
+        )

@@ -1,0 +1,12 @@
+"""Relational query construction: the SQL-compiler analogue.
+
+:class:`~repro.rel.builder.QueryBuilder` lowers relational operations
+(scan, filter, join, group-by, aggregate, order, limit) onto the binary
+column algebra of :mod:`repro.mal`, producing query *templates* whose
+literal parameters are factored out — the plan shape the recycler was
+designed around (§2.2).
+"""
+
+from repro.rel.builder import Expr, QueryBuilder
+
+__all__ = ["Expr", "QueryBuilder"]

@@ -1,0 +1,16 @@
+"""SQL front-end: lexer, parser, and planner onto the relational builder.
+
+Covers single-block SPJA queries: SELECT (expressions, aggregates,
+DISTINCT), FROM with comma joins, WHERE conjunctions (ranges, equality,
+BETWEEN, IN, LIKE, join predicates, computed comparisons), GROUP BY,
+HAVING, ORDER BY, LIMIT/OFFSET, plus ``date '...'`` and
+``interval 'n' month`` literals.
+
+All literal constants are factored out into template parameters
+(paper §2.2), so textually different instances of the same query shape
+share one cached plan — the property recycling feeds on.
+"""
+
+from repro.sql.planner import CompiledQuery, compile_sql, normalize_sql
+
+__all__ = ["CompiledQuery", "compile_sql", "normalize_sql"]

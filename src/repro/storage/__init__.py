@@ -1,0 +1,27 @@
+"""Column storage substrate: BATs, catalogue, tables, and update deltas.
+
+This package is the MonetDB-kernel analogue of the reproduction.  Data is
+stored column-wise in Binary Association Tables (:class:`~repro.storage.bat.BAT`),
+binary tables mapping a head of object identifiers (oids) to a tail of
+values.  Tables are collections of equally long columns registered in a
+:class:`~repro.storage.catalog.Catalog`; updates flow through per-table
+delta structures (:mod:`repro.storage.deltas`).
+"""
+
+from repro.storage.bat import BAT, Dense, OID_DTYPE, column_length, column_values
+from repro.storage.catalog import Catalog, ColumnDef, TableDef
+from repro.storage.table import Table
+from repro.storage.deltas import DeltaStore
+
+__all__ = [
+    "BAT",
+    "Dense",
+    "OID_DTYPE",
+    "column_length",
+    "column_values",
+    "Catalog",
+    "ColumnDef",
+    "TableDef",
+    "Table",
+    "DeltaStore",
+]

@@ -1,0 +1,1 @@
+"""Workloads used by the paper's evaluation: TPC-H (§7) and SkyServer (§8)."""

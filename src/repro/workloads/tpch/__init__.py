@@ -1,0 +1,21 @@
+"""TPC-H: schema, data generator (dbgen), query templates, qgen parameters,
+and refresh functions (RF1/RF2).
+
+The paper evaluates against TPC-H SF-1; this reproduction defaults to
+SF 0.01–0.05 (laptop scale) — commonality percentages and reuse shapes are
+scale-independent plan properties (see DESIGN.md substitutions).
+"""
+
+from repro.workloads.tpch.generator import generate_tpch, load_tpch
+from repro.workloads.tpch.queries import TEMPLATE_BUILDERS, build_templates
+from repro.workloads.tpch.params import ParamGenerator
+from repro.workloads.tpch.refresh import RefreshStream
+
+__all__ = [
+    "generate_tpch",
+    "load_tpch",
+    "TEMPLATE_BUILDERS",
+    "build_templates",
+    "ParamGenerator",
+    "RefreshStream",
+]

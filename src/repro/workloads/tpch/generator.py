@@ -1,0 +1,329 @@
+"""TPC-H data generator (dbgen) at configurable scale factor.
+
+Follows the TPC-H 2.x specification's cardinalities and value domains:
+``SF`` scales supplier (10k), customer (150k), part (200k), orders
+(1 500k) and partsupp (4 rows per part); lineitem draws 1-7 lines per
+order.  Distributions are uniform where the spec says uniform; correlated
+columns (receipt/commit dates, ``o_totalprice``) are derived the way the
+spec derives them.  Comment columns embed the probe phrases the query
+workload greps for (``special ... requests``, ``Customer ... Complaints``).
+
+Being synthetic, absolute selectivities differ a little from the reference
+dbgen; every query still selects non-trivial, parameter-dependent subsets,
+which is what the recycling experiments need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.db import Database
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+SHIPMODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+SHIPINSTRUCT = ["DELIVER IN PERSON", "COLLECT COD", "NONE",
+                "TAKE BACK RETURN"]
+TYPE_SYLL1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+TYPE_SYLL2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+TYPE_SYLL3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+CONTAINER_SYLL1 = ["SM", "LG", "MED", "JUMBO", "WRAP"]
+CONTAINER_SYLL2 = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"]
+P_NAME_WORDS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished",
+    "chartreuse", "chiffon", "chocolate", "coral", "cornflower", "cornsilk",
+    "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
+    "floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod",
+    "green", "grey", "honeydew", "hot", "hunter", "indian", "ivory",
+    "khaki", "lace", "lavender", "lawn", "lemon", "light", "lime", "linen",
+    "magenta", "maroon", "medium", "metallic", "midnight", "mint", "misty",
+    "moccasin", "navajo", "navy", "olive", "orange", "orchid", "pale",
+    "papaya", "peach", "peru", "pink", "plum", "powder", "puff", "purple",
+    "red", "rose", "rosy", "royal", "saddle", "salmon", "sandy", "seashell",
+    "sienna", "sky", "slate", "smoke", "snow", "spring", "steel", "tan",
+    "thistle", "tomato", "turquoise", "violet", "wheat", "white", "yellow",
+]
+COMMENT_WORDS = [
+    "carefully", "quickly", "furiously", "slyly", "blithely", "even",
+    "regular", "final", "ironic", "pending", "bold", "express", "special",
+    "requests", "deposits", "packages", "accounts", "theodolites", "ideas",
+    "Customer", "Complaints", "platelets", "foxes", "instructions",
+]
+
+START_DATE = np.datetime64("1992-01-01")
+END_DATE = np.datetime64("1998-12-31")
+CURRENT_DATE = np.datetime64("1995-06-17")  # the spec's :datadate anchor
+
+
+def _comments(rng: np.random.Generator, n: int, words: int = 4) -> np.ndarray:
+    picks = rng.choice(COMMENT_WORDS, size=(n, words))
+    return np.array([" ".join(row) for row in picks])
+
+
+def _phones(rng: np.random.Generator, nationkeys: np.ndarray) -> np.ndarray:
+    country = nationkeys + 10
+    a = rng.integers(100, 1000, len(nationkeys))
+    b = rng.integers(100, 1000, len(nationkeys))
+    c = rng.integers(1000, 10000, len(nationkeys))
+    return np.array([
+        f"{cc}-{x}-{y}-{z}" for cc, x, y, z in zip(country, a, b, c)
+    ])
+
+
+def generate_tpch(sf: float = 0.01, seed: int = 42) -> Dict[str, Dict[str, np.ndarray]]:
+    """Generate all eight TPC-H tables column-wise at scale factor *sf*."""
+    rng = np.random.default_rng(seed)
+    n_supp = max(10, int(10_000 * sf))
+    n_cust = max(150, int(150_000 * sf))
+    n_part = max(200, int(200_000 * sf))
+    n_orders = max(1500, int(1_500_000 * sf))
+
+    data: Dict[str, Dict[str, np.ndarray]] = {}
+
+    data["region"] = {
+        "r_regionkey": np.arange(5, dtype=np.int64),
+        "r_name": np.array(REGIONS),
+        "r_comment": _comments(rng, 5),
+    }
+
+    n_names = np.array([n for n, _r in NATIONS])
+    n_regions = np.array([r for _n, r in NATIONS], dtype=np.int64)
+    data["nation"] = {
+        "n_nationkey": np.arange(25, dtype=np.int64),
+        "n_name": n_names,
+        "n_regionkey": n_regions,
+        "n_comment": _comments(rng, 25),
+    }
+
+    s_nation = rng.integers(0, 25, n_supp)
+    data["supplier"] = {
+        "s_suppkey": np.arange(n_supp, dtype=np.int64),
+        "s_name": np.array([f"Supplier#{i:09d}" for i in range(n_supp)]),
+        "s_address": _comments(rng, n_supp, 2),
+        "s_nationkey": s_nation.astype(np.int64),
+        "s_phone": _phones(rng, s_nation),
+        "s_acctbal": np.round(rng.uniform(-999.99, 9999.99, n_supp), 2),
+        "s_comment": _comments(rng, n_supp, 6),
+    }
+
+    c_nation = rng.integers(0, 25, n_cust)
+    data["customer"] = {
+        "c_custkey": np.arange(n_cust, dtype=np.int64),
+        "c_name": np.array([f"Customer#{i:09d}" for i in range(n_cust)]),
+        "c_address": _comments(rng, n_cust, 2),
+        "c_nationkey": c_nation.astype(np.int64),
+        "c_phone": _phones(rng, c_nation),
+        "c_acctbal": np.round(rng.uniform(-999.99, 9999.99, n_cust), 2),
+        "c_mktsegment": rng.choice(SEGMENTS, n_cust),
+        "c_comment": _comments(rng, n_cust, 6),
+    }
+
+    name_picks = rng.choice(P_NAME_WORDS, size=(n_part, 5))
+    p_types = np.array([
+        f"{a} {b} {c}"
+        for a, b, c in zip(
+            rng.choice(TYPE_SYLL1, n_part),
+            rng.choice(TYPE_SYLL2, n_part),
+            rng.choice(TYPE_SYLL3, n_part),
+        )
+    ])
+    data["part"] = {
+        "p_partkey": np.arange(n_part, dtype=np.int64),
+        "p_name": np.array([" ".join(row) for row in name_picks]),
+        "p_mfgr": np.array([
+            f"Manufacturer#{m}" for m in rng.integers(1, 6, n_part)
+        ]),
+        "p_brand": np.array([
+            f"Brand#{m}{n}" for m, n in zip(
+                rng.integers(1, 6, n_part), rng.integers(1, 6, n_part)
+            )
+        ]),
+        "p_type": p_types,
+        "p_size": rng.integers(1, 51, n_part).astype(np.int64),
+        "p_container": np.array([
+            f"{a} {b}" for a, b in zip(
+                rng.choice(CONTAINER_SYLL1, n_part),
+                rng.choice(CONTAINER_SYLL2, n_part),
+            )
+        ]),
+        "p_retailprice": np.round(
+            900 + (np.arange(n_part) % 1000) / 10
+            + 100 * (np.arange(n_part) % 10), 2
+        ).astype(np.float64),
+        "p_comment": _comments(rng, n_part, 3),
+    }
+
+    # partsupp: 4 suppliers per part, the spec's spreading formula.
+    ps_part = np.repeat(np.arange(n_part, dtype=np.int64), 4)
+    offsets = np.tile(np.arange(4, dtype=np.int64), n_part)
+    ps_supp = (ps_part + offsets * (n_supp // 4 + 1)) % n_supp
+    n_ps = len(ps_part)
+    data["partsupp"] = {
+        "ps_partkey": ps_part,
+        "ps_suppkey": ps_supp.astype(np.int64),
+        "ps_availqty": rng.integers(1, 10_000, n_ps).astype(np.int64),
+        "ps_supplycost": np.round(rng.uniform(1.0, 1000.0, n_ps), 2),
+        "ps_comment": _comments(rng, n_ps, 8),
+    }
+
+    # The spec never assigns orders to custkeys divisible by 3 — one third
+    # of customers have no orders (exercised by Q13/Q22 anti-joins).
+    o_cust = rng.integers(0, n_cust, n_orders).astype(np.int64)
+    o_cust = np.where(o_cust % 3 == 0, (o_cust + 1) % n_cust, o_cust)
+    o_date = START_DATE + rng.integers(
+        0, int((END_DATE - START_DATE).astype(int)) - 151, n_orders
+    ).astype("timedelta64[D]")
+    data["orders"] = {
+        "o_orderkey": np.arange(n_orders, dtype=np.int64),
+        "o_custkey": o_cust,
+        "o_orderstatus": np.full(n_orders, "O", dtype="U1"),  # fixed below
+        "o_totalprice": np.zeros(n_orders),                   # fixed below
+        "o_orderdate": o_date.astype("datetime64[D]"),
+        "o_orderpriority": rng.choice(PRIORITIES, n_orders),
+        "o_clerk": np.array([
+            f"Clerk#{c:09d}" for c in rng.integers(0, max(1, int(sf * 1000)),
+                                                   n_orders)
+        ]),
+        "o_shippriority": np.zeros(n_orders, dtype=np.int64),
+        "o_comment": _comments(rng, n_orders, 5),
+    }
+
+    # lineitem: 1-7 lines per order.
+    lines_per_order = rng.integers(1, 8, n_orders)
+    l_order = np.repeat(np.arange(n_orders, dtype=np.int64), lines_per_order)
+    n_line = len(l_order)
+    linenumber = np.concatenate([
+        np.arange(1, k + 1) for k in lines_per_order
+    ]).astype(np.int64)
+    l_part = rng.integers(0, n_part, n_line).astype(np.int64)
+    # l_suppkey must come from the part's partsupp suppliers (Q9 joins on
+    # the composite key).
+    supp_choice = rng.integers(0, 4, n_line)
+    l_supp = (l_part + supp_choice * (n_supp // 4 + 1)) % n_supp
+    quantity = rng.integers(1, 51, n_line).astype(np.float64)
+    retail = data["part"]["p_retailprice"][l_part]
+    extended = np.round(quantity * retail / 10.0, 2)
+    discount = np.round(rng.integers(0, 11, n_line) / 100.0, 2)
+    tax = np.round(rng.integers(0, 9, n_line) / 100.0, 2)
+    ship_lag = rng.integers(1, 122, n_line).astype("timedelta64[D]")
+    l_ship = (o_date.astype("datetime64[D]")[l_order] + ship_lag)
+    commit_lag = rng.integers(30, 91, n_line).astype("timedelta64[D]")
+    l_commit = (o_date.astype("datetime64[D]")[l_order] + commit_lag)
+    receipt_lag = rng.integers(1, 31, n_line).astype("timedelta64[D]")
+    l_receipt = l_ship + receipt_lag
+
+    returned = l_receipt <= CURRENT_DATE
+    flag_draw = rng.random(n_line)
+    l_returnflag = np.where(
+        returned & (flag_draw < 0.5), "R",
+        np.where(returned, "A", "N"),
+    ).astype("U1")
+    l_linestatus = np.where(l_ship > CURRENT_DATE, "O", "F").astype("U1")
+
+    data["lineitem"] = {
+        "l_orderkey": l_order,
+        "l_partkey": l_part,
+        "l_suppkey": l_supp.astype(np.int64),
+        "l_linenumber": linenumber,
+        "l_quantity": quantity,
+        "l_extendedprice": extended,
+        "l_discount": discount,
+        "l_tax": tax,
+        "l_returnflag": l_returnflag,
+        "l_linestatus": l_linestatus,
+        "l_shipdate": l_ship.astype("datetime64[D]"),
+        "l_commitdate": l_commit.astype("datetime64[D]"),
+        "l_receiptdate": l_receipt.astype("datetime64[D]"),
+        "l_shipinstruct": rng.choice(SHIPINSTRUCT, n_line),
+        "l_shipmode": rng.choice(SHIPMODES, n_line),
+        "l_comment": _comments(rng, n_line, 3),
+    }
+
+    # Derived order columns: status from line statuses, totalprice from
+    # the lines (the spec's derivation).
+    charge = extended * (1 - discount) * (1 + tax)
+    data["orders"]["o_totalprice"] = np.round(
+        np.bincount(l_order, weights=charge, minlength=n_orders), 2
+    )
+    open_lines = np.bincount(
+        l_order, weights=(l_linestatus == "O"), minlength=n_orders
+    )
+    total_lines = np.bincount(l_order, minlength=n_orders)
+    data["orders"]["o_orderstatus"] = np.where(
+        open_lines == 0, "F", np.where(open_lines == total_lines, "O", "P")
+    ).astype("U1")
+    return data
+
+
+_SCHEMA = {
+    "region": {"r_regionkey": "int64", "r_name": "U16", "r_comment": "U128"},
+    "nation": {"n_nationkey": "int64", "n_name": "U16",
+               "n_regionkey": "int64", "n_comment": "U128"},
+    "supplier": {"s_suppkey": "int64", "s_name": "U20", "s_address": "U32",
+                 "s_nationkey": "int64", "s_phone": "U16",
+                 "s_acctbal": "float64", "s_comment": "U128"},
+    "customer": {"c_custkey": "int64", "c_name": "U20", "c_address": "U32",
+                 "c_nationkey": "int64", "c_phone": "U16",
+                 "c_acctbal": "float64", "c_mktsegment": "U12",
+                 "c_comment": "U128"},
+    "part": {"p_partkey": "int64", "p_name": "U64", "p_mfgr": "U16",
+             "p_brand": "U12", "p_type": "U32", "p_size": "int64",
+             "p_container": "U12", "p_retailprice": "float64",
+             "p_comment": "U64"},
+    "partsupp": {"ps_partkey": "int64", "ps_suppkey": "int64",
+                 "ps_availqty": "int64", "ps_supplycost": "float64",
+                 "ps_comment": "U160"},
+    "orders": {"o_orderkey": "int64", "o_custkey": "int64",
+               "o_orderstatus": "U1", "o_totalprice": "float64",
+               "o_orderdate": "datetime64[D]", "o_orderpriority": "U16",
+               "o_clerk": "U16", "o_shippriority": "int64",
+               "o_comment": "U96"},
+    "lineitem": {"l_orderkey": "int64", "l_partkey": "int64",
+                 "l_suppkey": "int64", "l_linenumber": "int64",
+                 "l_quantity": "float64", "l_extendedprice": "float64",
+                 "l_discount": "float64", "l_tax": "float64",
+                 "l_returnflag": "U1", "l_linestatus": "U1",
+                 "l_shipdate": "datetime64[D]",
+                 "l_commitdate": "datetime64[D]",
+                 "l_receiptdate": "datetime64[D]",
+                 "l_shipinstruct": "U20", "l_shipmode": "U10",
+                 "l_comment": "U64"},
+}
+
+_FOREIGN_KEYS = [
+    ("fk_nation_region", "nation", "n_regionkey", "region", "r_regionkey"),
+    ("fk_supp_nation", "supplier", "s_nationkey", "nation", "n_nationkey"),
+    ("fk_cust_nation", "customer", "c_nationkey", "nation", "n_nationkey"),
+    ("fk_orders_cust", "orders", "o_custkey", "customer", "c_custkey"),
+    ("fk_line_orders", "lineitem", "l_orderkey", "orders", "o_orderkey"),
+    ("fk_line_part", "lineitem", "l_partkey", "part", "p_partkey"),
+    ("fk_line_supp", "lineitem", "l_suppkey", "supplier", "s_suppkey"),
+    ("fk_ps_part", "partsupp", "ps_partkey", "part", "p_partkey"),
+    ("fk_ps_supp", "partsupp", "ps_suppkey", "supplier", "s_suppkey"),
+]
+
+
+def load_tpch(db: Database, sf: float = 0.01, seed: int = 42
+              ) -> Dict[str, Dict[str, np.ndarray]]:
+    """Generate and load the TPC-H schema into *db* (tables + FK indices)."""
+    data = generate_tpch(sf=sf, seed=seed)
+    for table, columns in _SCHEMA.items():
+        db.create_table(table, columns, data[table])
+    for fk in _FOREIGN_KEYS:
+        db.add_foreign_key(*fk)
+    return data

@@ -1,0 +1,774 @@
+"""All 22 TPC-H query templates, expressed against the relational builder.
+
+Each ``build_qNN(db)`` compiles one parametrised template (the analogue of
+the MAL functions MonetDB's SQL compiler caches, §2.2).  Parameter names
+match :mod:`repro.workloads.tpch.params`; constants the TPC-H specification
+fixes (e.g. Q12's priority classes, Q19's size brackets) stay constants.
+
+Nested blocks are expressed as *subplans* within the same template —
+exactly how a flattening SQL compiler lays them out — which is what gives
+queries like Q11 their intra-query commonality and Q18 its inter-query
+commonality (paper §7, Table II).
+
+Simplifications that do not affect plan shape: string concatenations in
+output lists are dropped, and Q13 omits the zero-order customer row (our
+algebra has no outer join; the grouping work, which is what the recycler
+sees, is identical).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.db import Database
+from repro.mal.program import Const, MalProgram
+
+DATE = np.datetime64
+
+#: multiplier for composite (partkey, suppkey) keys in Q20.
+_COMPOSITE_BASE = 1_000_000
+
+
+def build_q01(db: Database) -> MalProgram:
+    """Q1 pricing summary report."""
+    q = db.builder("q01")
+    delta = q.param("delta")
+    neg = q.scalar_op("calc.mul", delta, -1)
+    hi = q.scalar_op("mtime.adddays", DATE("1998-12-01"), neg)
+    q.scan("lineitem")
+    q.filter_range("lineitem", "l_shipdate", hi=hi)
+    flag = q.col("lineitem", "l_returnflag")
+    status = q.col("lineitem", "l_linestatus")
+    qty = q.col("lineitem", "l_quantity")
+    price = q.col("lineitem", "l_extendedprice")
+    disc = q.col("lineitem", "l_discount")
+    tax = q.col("lineitem", "l_tax")
+    disc_price = q.mul(price, q.sub(1.0, disc))
+    charge = q.mul(disc_price, q.add(1.0, tax))
+    keys = q.groupby([flag, status])
+    outputs = [
+        ("l_returnflag", keys[0]),
+        ("l_linestatus", keys[1]),
+        ("sum_qty", q.agg_sum(qty)),
+        ("sum_base_price", q.agg_sum(price)),
+        ("sum_disc_price", q.agg_sum(disc_price)),
+        ("sum_charge", q.agg_sum(charge)),
+        ("avg_qty", q.agg_avg(qty)),
+        ("avg_price", q.agg_avg(price)),
+        ("avg_disc", q.agg_avg(disc)),
+        ("count_order", q.agg_count()),
+    ]
+    q.select(outputs, order_by=[(keys[0], True), (keys[1], True)])
+    return q.build()
+
+
+def build_q02(db: Database) -> MalProgram:
+    """Q2 minimum cost supplier (correlated min sub-query)."""
+    q = db.builder("q02")
+    size = q.param("size")
+    tpat = q.param("type_pattern")
+    region = q.param("region")
+    for t in ("part", "partsupp", "supplier", "nation", "region"):
+        q.scan(t)
+    q.filter_eq("part", "p_size", size)
+    q.filter_like("part", "p_type", tpat)
+    q.filter_eq("region", "r_name", region)
+    q.join("partsupp", "ps_partkey", "part", "p_partkey")
+    q.join("partsupp", "ps_suppkey", "supplier", "s_suppkey")
+    q.join("supplier", "s_nationkey", "nation", "n_nationkey")
+    q.join("nation", "n_regionkey", "region", "r_regionkey")
+
+    sub = q.subplan("mincost")
+    for t, a in (("partsupp", "ps2"), ("supplier", "s2"), ("nation", "n2"),
+                 ("region", "r2")):
+        sub.scan(t, a)
+    sub.filter_eq("r2", "r_name", region)
+    sub.join("ps2", "ps_suppkey", "s2", "s_suppkey")
+    sub.join("s2", "s_nationkey", "n2", "n_nationkey")
+    sub.join("n2", "n_regionkey", "r2", "r_regionkey")
+    sub_keys = sub.groupby([sub.col("ps2", "ps_partkey")])
+    min_cost = sub.agg_min(sub.col("ps2", "ps_supplycost"))
+
+    cost = q.col("partsupp", "ps_supplycost")
+    pkey = q.col("part", "p_partkey")
+    min_for_part = q.lookup(pkey, sub_keys[0], min_cost)
+    q.filter_expr(q.cmp("eq", cost, min_for_part))
+
+    acct = q.col("supplier", "s_acctbal")
+    nname = q.col("nation", "n_name")
+    sname = q.col("supplier", "s_name")
+    q.select(
+        [
+            ("s_acctbal", acct),
+            ("s_name", sname),
+            ("n_name", nname),
+            ("p_partkey", pkey),
+            ("p_mfgr", q.col("part", "p_mfgr")),
+            ("s_address", q.col("supplier", "s_address")),
+            ("s_phone", q.col("supplier", "s_phone")),
+            ("s_comment", q.col("supplier", "s_comment")),
+        ],
+        order_by=[(acct, False), (nname, True), (sname, True),
+                  (pkey, True)],
+        limit=100,
+    )
+    return q.build()
+
+
+def build_q03(db: Database) -> MalProgram:
+    """Q3 shipping priority."""
+    q = db.builder("q03")
+    segment = q.param("segment")
+    date = q.param("date")
+    for t in ("customer", "orders", "lineitem"):
+        q.scan(t)
+    q.filter_eq("customer", "c_mktsegment", segment)
+    q.filter_range("orders", "o_orderdate", hi=date, hi_incl=False)
+    q.filter_range("lineitem", "l_shipdate", lo=date, lo_incl=False)
+    q.join("orders", "o_custkey", "customer", "c_custkey")
+    q.join("lineitem", "l_orderkey", "orders", "o_orderkey")
+    revenue = q.mul(q.col("lineitem", "l_extendedprice"),
+                    q.sub(1.0, q.col("lineitem", "l_discount")))
+    okey = q.col("lineitem", "l_orderkey")
+    odate = q.col("orders", "o_orderdate")
+    prio = q.col("orders", "o_shippriority")
+    keys = q.groupby([okey, odate, prio])
+    rev = q.agg_sum(revenue)
+    q.select(
+        [("l_orderkey", keys[0]), ("revenue", rev),
+         ("o_orderdate", keys[1]), ("o_shippriority", keys[2])],
+        order_by=[(rev, False), (keys[1], True)],
+        limit=10,
+    )
+    return q.build()
+
+
+def build_q04(db: Database) -> MalProgram:
+    """Q4 order priority checking (EXISTS sub-query)."""
+    q = db.builder("q04")
+    date = q.param("date")
+    hi = q.scalar_op("mtime.addmonths", date, 3)
+
+    sub = q.subplan("late")
+    sub.scan("lineitem", "l2")
+    commit = sub.col("l2", "l_commitdate")
+    receipt = sub.col("l2", "l_receiptdate")
+    sub.filter_expr(sub.cmp("lt", commit, receipt))
+    late_orders = sub.col("l2", "l_orderkey")
+
+    q.scan("orders")
+    q.filter_range("orders", "o_orderdate", lo=date, hi=hi, hi_incl=False)
+    okey = q.col("orders", "o_orderkey")
+    q.filter_in_keys(okey, late_orders)
+    keys = q.groupby([q.col("orders", "o_orderpriority")])
+    q.select(
+        [("o_orderpriority", keys[0]), ("order_count", q.agg_count())],
+        order_by=[(keys[0], True)],
+    )
+    return q.build()
+
+
+def build_q05(db: Database) -> MalProgram:
+    """Q5 local supplier volume."""
+    q = db.builder("q05")
+    region = q.param("region")
+    date = q.param("date")
+    hi = q.scalar_op("mtime.addyears", date, 1)
+    for t in ("customer", "orders", "lineitem", "supplier", "nation",
+              "region"):
+        q.scan(t)
+    q.filter_eq("region", "r_name", region)
+    q.filter_range("orders", "o_orderdate", lo=date, hi=hi, hi_incl=False)
+    q.join("orders", "o_custkey", "customer", "c_custkey")
+    q.join("lineitem", "l_orderkey", "orders", "o_orderkey")
+    q.join("lineitem", "l_suppkey", "supplier", "s_suppkey")
+    q.join("supplier", "s_nationkey", "nation", "n_nationkey")
+    q.join("nation", "n_regionkey", "region", "r_regionkey")
+    q.filter_expr(q.cmp("eq", q.col("customer", "c_nationkey"),
+                        q.col("supplier", "s_nationkey")))
+    revenue = q.mul(q.col("lineitem", "l_extendedprice"),
+                    q.sub(1.0, q.col("lineitem", "l_discount")))
+    keys = q.groupby([q.col("nation", "n_name")])
+    rev = q.agg_sum(revenue)
+    q.select([("n_name", keys[0]), ("revenue", rev)],
+             order_by=[(rev, False)])
+    return q.build()
+
+
+def build_q06(db: Database) -> MalProgram:
+    """Q6 forecasting revenue change."""
+    q = db.builder("q06")
+    date = q.param("date")
+    disc_lo = q.param("disc_lo")
+    disc_hi = q.param("disc_hi")
+    qty = q.param("quantity")
+    hi = q.scalar_op("mtime.addyears", date, 1)
+    q.scan("lineitem")
+    q.filter_range("lineitem", "l_shipdate", lo=date, hi=hi, hi_incl=False)
+    q.filter_range("lineitem", "l_discount", lo=disc_lo, hi=disc_hi)
+    q.filter_range("lineitem", "l_quantity", hi=qty, hi_incl=False)
+    revenue = q.mul(q.col("lineitem", "l_extendedprice"),
+                    q.col("lineitem", "l_discount"))
+    q.select_scalar("revenue", q.agg_scalar("sum", revenue))
+    return q.build()
+
+
+def build_q07(db: Database) -> MalProgram:
+    """Q7 volume shipping between two nations."""
+    q = db.builder("q07")
+    nation1 = q.param("nation1")
+    nation2 = q.param("nation2")
+    q.scan("supplier")
+    q.scan("lineitem")
+    q.scan("orders")
+    q.scan("customer")
+    q.scan("nation", "n1")
+    q.scan("nation", "n2")
+    q.filter_range("lineitem", "l_shipdate", lo=DATE("1995-01-01"),
+                   hi=DATE("1996-12-31"))
+    q.join("lineitem", "l_suppkey", "supplier", "s_suppkey")
+    q.join("lineitem", "l_orderkey", "orders", "o_orderkey")
+    q.join("orders", "o_custkey", "customer", "c_custkey")
+    q.join("supplier", "s_nationkey", "n1", "n_nationkey")
+    q.join("customer", "c_nationkey", "n2", "n_nationkey")
+    supp_nation = q.col("n1", "n_name")
+    cust_nation = q.col("n2", "n_name")
+    fwd = q.and_(q.cmp("eq", supp_nation, nation1),
+                 q.cmp("eq", cust_nation, nation2))
+    bwd = q.and_(q.cmp("eq", supp_nation, nation2),
+                 q.cmp("eq", cust_nation, nation1))
+    q.filter_expr(q.or_(fwd, bwd))
+    year = q.year(q.col("lineitem", "l_shipdate"))
+    volume = q.mul(q.col("lineitem", "l_extendedprice"),
+                   q.sub(1.0, q.col("lineitem", "l_discount")))
+    keys = q.groupby([supp_nation, cust_nation, year])
+    q.select(
+        [("supp_nation", keys[0]), ("cust_nation", keys[1]),
+         ("l_year", keys[2]), ("revenue", q.agg_sum(volume))],
+        order_by=[(keys[0], True), (keys[1], True), (keys[2], True)],
+    )
+    return q.build()
+
+
+def build_q08(db: Database) -> MalProgram:
+    """Q8 national market share."""
+    q = db.builder("q08")
+    nation = q.param("nation")
+    region = q.param("region")
+    ptype = q.param("type")
+    for t in ("part", "lineitem", "orders", "customer", "region",
+              "supplier"):
+        q.scan(t)
+    q.scan("nation", "n1")
+    q.scan("nation", "n2")
+    q.filter_eq("part", "p_type", ptype)
+    q.filter_eq("region", "r_name", region)
+    q.filter_range("orders", "o_orderdate", lo=DATE("1995-01-01"),
+                   hi=DATE("1996-12-31"))
+    q.join("lineitem", "l_partkey", "part", "p_partkey")
+    q.join("lineitem", "l_orderkey", "orders", "o_orderkey")
+    q.join("orders", "o_custkey", "customer", "c_custkey")
+    q.join("customer", "c_nationkey", "n1", "n_nationkey")
+    q.join("n1", "n_regionkey", "region", "r_regionkey")
+    q.join("lineitem", "l_suppkey", "supplier", "s_suppkey")
+    q.join("supplier", "s_nationkey", "n2", "n_nationkey")
+    year = q.year(q.col("orders", "o_orderdate"))
+    volume = q.mul(q.col("lineitem", "l_extendedprice"),
+                   q.sub(1.0, q.col("lineitem", "l_discount")))
+    national = q.case(q.cmp("eq", q.col("n2", "n_name"), nation),
+                      volume, 0.0)
+    keys = q.groupby([year])
+    nat_sum = q.agg_sum(national)
+    all_sum = q.agg_sum(volume)
+    share = q.group_calc("div", nat_sum, all_sum)
+    q.select([("o_year", keys[0]), ("mkt_share", share)],
+             order_by=[(keys[0], True)])
+    return q.build()
+
+
+def build_q09(db: Database) -> MalProgram:
+    """Q9 product type profit (composite partsupp join)."""
+    q = db.builder("q09")
+    color = q.param("color_pattern")
+    for t in ("part", "lineitem", "supplier", "partsupp", "orders",
+              "nation"):
+        q.scan(t)
+    q.filter_like("part", "p_name", color)
+    q.join("lineitem", "l_partkey", "part", "p_partkey")
+    q.join("lineitem", "l_suppkey", "supplier", "s_suppkey")
+    q.join("lineitem", "l_orderkey", "orders", "o_orderkey")
+    q.join("supplier", "s_nationkey", "nation", "n_nationkey")
+    q.join("lineitem", "l_partkey", "partsupp", "ps_partkey")
+    q.filter_expr(q.cmp("eq", q.col("partsupp", "ps_suppkey"),
+                        q.col("lineitem", "l_suppkey")))
+    amount = q.sub(
+        q.mul(q.col("lineitem", "l_extendedprice"),
+              q.sub(1.0, q.col("lineitem", "l_discount"))),
+        q.mul(q.col("partsupp", "ps_supplycost"),
+              q.col("lineitem", "l_quantity")),
+    )
+    year = q.year(q.col("orders", "o_orderdate"))
+    keys = q.groupby([q.col("nation", "n_name"), year])
+    q.select(
+        [("nation", keys[0]), ("o_year", keys[1]),
+         ("sum_profit", q.agg_sum(amount))],
+        order_by=[(keys[0], True), (keys[1], False)],
+    )
+    return q.build()
+
+
+def build_q10(db: Database) -> MalProgram:
+    """Q10 returned item reporting."""
+    q = db.builder("q10")
+    date = q.param("date")
+    hi = q.scalar_op("mtime.addmonths", date, 3)
+    for t in ("customer", "orders", "lineitem", "nation"):
+        q.scan(t)
+    q.filter_range("orders", "o_orderdate", lo=date, hi=hi, hi_incl=False)
+    q.filter_eq("lineitem", "l_returnflag", "R")
+    q.join("orders", "o_custkey", "customer", "c_custkey")
+    q.join("lineitem", "l_orderkey", "orders", "o_orderkey")
+    q.join("customer", "c_nationkey", "nation", "n_nationkey")
+    revenue = q.mul(q.col("lineitem", "l_extendedprice"),
+                    q.sub(1.0, q.col("lineitem", "l_discount")))
+    keys = q.groupby([
+        q.col("customer", "c_custkey"), q.col("customer", "c_name"),
+        q.col("customer", "c_acctbal"), q.col("customer", "c_phone"),
+        q.col("nation", "n_name"), q.col("customer", "c_address"),
+        q.col("customer", "c_comment"),
+    ])
+    rev = q.agg_sum(revenue)
+    q.select(
+        [("c_custkey", keys[0]), ("c_name", keys[1]), ("revenue", rev),
+         ("c_acctbal", keys[2]), ("n_name", keys[4]), ("c_address", keys[5]),
+         ("c_phone", keys[3]), ("c_comment", keys[6])],
+        order_by=[(rev, False)],
+        limit=20,
+    )
+    return q.build()
+
+
+def build_q11(db: Database) -> MalProgram:
+    """Q11 important stock identification (shared sub-query -> intra-query
+    commonality, the paper's Fig. 4a workload)."""
+    q = db.builder("q11")
+    nation = q.param("nation")
+    fraction = q.param("fraction")
+    for t in ("partsupp", "supplier", "nation"):
+        q.scan(t)
+    q.filter_eq("nation", "n_name", nation)
+    q.join("partsupp", "ps_suppkey", "supplier", "s_suppkey")
+    q.join("supplier", "s_nationkey", "nation", "n_nationkey")
+    value = q.mul(q.col("partsupp", "ps_supplycost"),
+                  q.col("partsupp", "ps_availqty"))
+    keys = q.groupby([q.col("partsupp", "ps_partkey")])
+    part_value = q.agg_sum(value)
+
+    # The sub-query recomputes the same stream for the global total — the
+    # recycler reuses the whole prefix within one invocation.
+    sub = q.subplan("total")
+    for t, a in (("partsupp", "ps2"), ("supplier", "s2"), ("nation", "n2")):
+        sub.scan(t, a)
+    sub.filter_eq("n2", "n_name", nation)
+    sub.join("ps2", "ps_suppkey", "s2", "s_suppkey")
+    sub.join("s2", "s_nationkey", "n2", "n_nationkey")
+    value2 = sub.mul(sub.col("ps2", "ps_supplycost"),
+                     sub.col("ps2", "ps_availqty"))
+    total = sub.agg_scalar("sum", value2)
+
+    threshold = q.scalar_op("calc.mul", total, fraction)
+    q.having_range(part_value, lo=threshold, lo_incl=False)
+    q.select([("ps_partkey", keys[0]), ("value", part_value)],
+             order_by=[(part_value, False)])
+    return q.build()
+
+
+def build_q12(db: Database) -> MalProgram:
+    """Q12 shipping modes and order priority."""
+    q = db.builder("q12")
+    modes = q.param("modes")
+    date = q.param("date")
+    hi = q.scalar_op("mtime.addyears", date, 1)
+    q.scan("lineitem")
+    q.scan("orders")
+    q.filter_in("lineitem", "l_shipmode", modes)
+    q.filter_range("lineitem", "l_receiptdate", lo=date, hi=hi,
+                   hi_incl=False)
+    q.join("lineitem", "l_orderkey", "orders", "o_orderkey")
+    commit = q.col("lineitem", "l_commitdate")
+    receipt = q.col("lineitem", "l_receiptdate")
+    ship = q.col("lineitem", "l_shipdate")
+    q.filter_expr(q.cmp("lt", commit, receipt))
+    q.filter_expr(q.cmp("lt", ship, commit))
+    prio = q.col("orders", "o_orderpriority")
+    high_mask = q.in_values(prio, ["1-URGENT", "2-HIGH"])
+    high = q.case(high_mask, 1, 0)
+    low = q.case(high_mask, 0, 1)
+    keys = q.groupby([q.col("lineitem", "l_shipmode")])
+    q.select(
+        [("l_shipmode", keys[0]), ("high_line_count", q.agg_sum(high)),
+         ("low_line_count", q.agg_sum(low))],
+        order_by=[(keys[0], True)],
+    )
+    return q.build()
+
+
+def build_q13(db: Database) -> MalProgram:
+    """Q13 customer order distribution (two-level aggregation).
+
+    Our algebra has no outer join, so customers with zero orders are not
+    reported; the grouping pipeline — the part the recycler interacts
+    with — is unchanged.
+    """
+    q = db.builder("q13")
+    pattern = q.param("pattern")
+    q.scan("orders")
+    q.filter_not_like("orders", "o_comment", pattern)
+    q.groupby([q.col("orders", "o_custkey")])
+    counts = q.agg_count()
+    b = q.b
+    cvar = q.var_of(counts)
+    grp2 = b.emit("group.new", cvar)
+    ext2 = b.emit("group.extents", grp2)
+    keys2 = b.emit("algebra.leftfetchjoin", ext2, cvar)
+    cnt2 = b.emit("aggr.count", grp2)
+    perm = b.emit("algebra.lexsort", Const((False, False)), cnt2, keys2)
+    o_key = b.emit("algebra.leftfetchjoin", perm, keys2)
+    o_cnt = b.emit("algebra.leftfetchjoin", perm, cnt2)
+    out = b.emit("sql.resultset", Const(("c_count", "custdist")),
+                 o_key, o_cnt)
+    q.set_output_var(out)
+    return q.build()
+
+
+def build_q14(db: Database) -> MalProgram:
+    """Q14 promotion effect."""
+    q = db.builder("q14")
+    date = q.param("date")
+    hi = q.scalar_op("mtime.addmonths", date, 1)
+    q.scan("lineitem")
+    q.scan("part")
+    q.filter_range("lineitem", "l_shipdate", lo=date, hi=hi, hi_incl=False)
+    q.join("lineitem", "l_partkey", "part", "p_partkey")
+    revenue = q.mul(q.col("lineitem", "l_extendedprice"),
+                    q.sub(1.0, q.col("lineitem", "l_discount")))
+    promo_mask = q.like(q.col("part", "p_type"), "PROMO%")
+    promo_rev = q.case(promo_mask, revenue, 0.0)
+    s_promo = q.agg_scalar("sum", promo_rev)
+    s_all = q.agg_scalar("sum", revenue)
+    result = q.scalar_op("calc.div",
+                         q.scalar_op("calc.mul", s_promo, 100.0), s_all)
+    q.select_scalar("promo_revenue", result)
+    return q.build()
+
+
+def build_q15(db: Database) -> MalProgram:
+    """Q15 top supplier (revenue view + max)."""
+    q = db.builder("q15")
+    date = q.param("date")
+    hi = q.scalar_op("mtime.addmonths", date, 3)
+
+    sub = q.subplan("revenue")
+    sub.scan("lineitem", "l2")
+    sub.filter_range("l2", "l_shipdate", lo=date, hi=hi, hi_incl=False)
+    rev_expr = sub.mul(sub.col("l2", "l_extendedprice"),
+                       sub.sub(1.0, sub.col("l2", "l_discount")))
+    sub_keys = sub.groupby([sub.col("l2", "l_suppkey")])
+    total = sub.agg_sum(rev_expr)
+    max_total = q.b.emit("aggr.max1", sub.var_of(total))
+
+    q.scan("supplier")
+    skey = q.col("supplier", "s_suppkey")
+    supp_rev = q.lookup(skey, sub_keys[0], total)
+    q.filter_range_expr(supp_rev, lo=max_total, hi=max_total)
+    q.select(
+        [("s_suppkey", skey), ("s_name", q.col("supplier", "s_name")),
+         ("s_address", q.col("supplier", "s_address")),
+         ("s_phone", q.col("supplier", "s_phone")),
+         ("total_revenue", supp_rev)],
+        order_by=[(skey, True)],
+    )
+    return q.build()
+
+
+def build_q16(db: Database) -> MalProgram:
+    """Q16 parts/supplier relationship (NOT IN sub-query)."""
+    q = db.builder("q16")
+    brand = q.param("brand")
+    tpat = q.param("type_pattern")
+    sizes = q.param("sizes")
+
+    sub = q.subplan("complaints")
+    sub.scan("supplier", "s2")
+    sub.filter_like("s2", "s_comment", "%Customer%Complaints%")
+    bad_suppliers = sub.col("s2", "s_suppkey")
+
+    q.scan("partsupp")
+    q.scan("part")
+    q.filter_not_like("part", "p_type", tpat)
+    q.filter_in("part", "p_size", sizes)
+    q.join("partsupp", "ps_partkey", "part", "p_partkey")
+    q.filter_expr(q.cmp("ne", q.col("part", "p_brand"), brand))
+    sk = q.col("partsupp", "ps_suppkey")
+    q.filter_not_in_keys(sk, bad_suppliers)
+    keys = q.groupby([q.col("part", "p_brand"), q.col("part", "p_type"),
+                      q.col("part", "p_size")])
+    cnt = q.agg_count_distinct(sk)
+    q.select(
+        [("p_brand", keys[0]), ("p_type", keys[1]), ("p_size", keys[2]),
+         ("supplier_cnt", cnt)],
+        order_by=[(cnt, False), (keys[0], True), (keys[1], True),
+                  (keys[2], True)],
+    )
+    return q.build()
+
+
+def build_q17(db: Database) -> MalProgram:
+    """Q17 small-quantity-order revenue (correlated avg sub-query)."""
+    q = db.builder("q17")
+    brand = q.param("brand")
+    container = q.param("container")
+
+    sub = q.subplan("avgqty")
+    sub.scan("lineitem", "l2")
+    sub_keys = sub.groupby([sub.col("l2", "l_partkey")])
+    avg_qty = sub.agg_avg(sub.col("l2", "l_quantity"))
+
+    q.scan("lineitem")
+    q.scan("part")
+    q.filter_eq("part", "p_brand", brand)
+    q.filter_eq("part", "p_container", container)
+    q.join("lineitem", "l_partkey", "part", "p_partkey")
+    pkey = q.col("part", "p_partkey")
+    threshold = q.mul(q.lookup(pkey, sub_keys[0], avg_qty), 0.2)
+    q.filter_expr(q.cmp("lt", q.col("lineitem", "l_quantity"), threshold))
+    total = q.agg_scalar("sum", q.col("lineitem", "l_extendedprice"))
+    q.select_scalar("avg_yearly", q.scalar_op("calc.div", total, 7.0))
+    return q.build()
+
+
+def build_q18(db: Database) -> MalProgram:
+    """Q18 large volume customer (the paper's Fig. 4b inter-query case:
+    the lineitem grouping is parameter-independent and fully reused)."""
+    q = db.builder("q18")
+    quantity = q.param("quantity")
+
+    sub = q.subplan("bigorders")
+    sub.scan("lineitem", "l2")
+    sub_keys = sub.groupby([sub.col("l2", "l_orderkey")])
+    qty_sum = sub.agg_sum(sub.col("l2", "l_quantity"))
+    sub.having_range(qty_sum, lo=quantity, lo_incl=False)
+
+    for t in ("customer", "orders", "lineitem"):
+        q.scan(t)
+    q.join("orders", "o_custkey", "customer", "c_custkey")
+    q.join("lineitem", "l_orderkey", "orders", "o_orderkey")
+    okey = q.col("orders", "o_orderkey")
+    q.filter_in_keys(okey, sub_keys[0])
+    keys = q.groupby([
+        q.col("customer", "c_name"), q.col("customer", "c_custkey"),
+        q.col("orders", "o_orderkey"), q.col("orders", "o_orderdate"),
+        q.col("orders", "o_totalprice"),
+    ])
+    q.select(
+        [("c_name", keys[0]), ("c_custkey", keys[1]),
+         ("o_orderkey", keys[2]), ("o_orderdate", keys[3]),
+         ("o_totalprice", keys[4]),
+         ("sum_qty", q.agg_sum(q.col("lineitem", "l_quantity")))],
+        order_by=[(keys[4], False), (keys[3], True)],
+        limit=100,
+    )
+    return q.build()
+
+
+def build_q19(db: Database) -> MalProgram:
+    """Q19 discounted revenue (three OR-ed predicate brackets)."""
+    q = db.builder("q19")
+    brands = [q.param(f"brand{i}") for i in (1, 2, 3)]
+    qtys = [q.param(f"qty{i}") for i in (1, 2, 3)]
+    q.scan("lineitem")
+    q.scan("part")
+    q.filter_in("lineitem", "l_shipmode", ("AIR", "REG AIR"))
+    q.filter_eq("lineitem", "l_shipinstruct", "DELIVER IN PERSON")
+    q.join("lineitem", "l_partkey", "part", "p_partkey")
+
+    brand = q.col("part", "p_brand")
+    container = q.col("part", "p_container")
+    size = q.col("part", "p_size")
+    qty = q.col("lineitem", "l_quantity")
+    containers = [
+        ("SM CASE", "SM BOX", "SM PACK", "SM PKG"),
+        ("MED BAG", "MED BOX", "MED PKG", "MED PACK"),
+        ("LG CASE", "LG BOX", "LG PACK", "LG PKG"),
+    ]
+    size_hi = [5, 10, 15]
+    brackets = []
+    for i in range(3):
+        qty_hi = q.scalar_op("calc.add", qtys[i], 10)
+        mask = q.cmp("eq", brand, brands[i])
+        mask = q.and_(mask, q.in_values(container, list(containers[i])))
+        mask = q.and_(mask, q.cmp("ge", qty, qtys[i]))
+        mask = q.and_(mask, q.cmp("le", qty, qty_hi))
+        mask = q.and_(mask, q.cmp("ge", size, 1))
+        mask = q.and_(mask, q.cmp("le", size, size_hi[i]))
+        brackets.append(mask)
+    q.filter_expr(q.or_(q.or_(brackets[0], brackets[1]), brackets[2]))
+    revenue = q.mul(q.col("lineitem", "l_extendedprice"),
+                    q.sub(1.0, q.col("lineitem", "l_discount")))
+    q.select_scalar("revenue", q.agg_scalar("sum", revenue))
+    return q.build()
+
+
+def build_q20(db: Database) -> MalProgram:
+    """Q20 potential part promotion (nested IN chains)."""
+    q = db.builder("q20")
+    color = q.param("color_pattern")
+    date = q.param("date")
+    nation = q.param("nation")
+    hi = q.scalar_op("mtime.addyears", date, 1)
+
+    sub_parts = q.subplan("parts")
+    sub_parts.scan("part", "p2")
+    sub_parts.filter_like("p2", "p_name", color)
+    part_keys = sub_parts.col("p2", "p_partkey")
+
+    sub_qty = q.subplan("qty")
+    sub_qty.scan("lineitem", "l2")
+    sub_qty.filter_range("l2", "l_shipdate", lo=date, hi=hi, hi_incl=False)
+    combo2 = sub_qty.add(
+        sub_qty.mul(sub_qty.col("l2", "l_partkey"), _COMPOSITE_BASE),
+        sub_qty.col("l2", "l_suppkey"),
+    )
+    qty_keys = sub_qty.groupby([combo2])
+    half_qty = sub_qty.group_calc(
+        "mul", sub_qty.agg_sum(sub_qty.col("l2", "l_quantity")), 0.5
+    )
+
+    sub_ps = q.subplan("availability")
+    sub_ps.scan("partsupp", "ps2")
+    ps_part = sub_ps.col("ps2", "ps_partkey")
+    sub_ps.filter_in_keys(ps_part, part_keys)
+    combo3 = sub_ps.add(
+        sub_ps.mul(sub_ps.col("ps2", "ps_partkey"), _COMPOSITE_BASE),
+        sub_ps.col("ps2", "ps_suppkey"),
+    )
+    half_for_pair = sub_ps.lookup(combo3, qty_keys[0], half_qty)
+    avail = sub_ps.col("ps2", "ps_availqty")
+    sub_ps.filter_expr(sub_ps.cmp("gt", avail, half_for_pair))
+    good_suppliers = sub_ps.col("ps2", "ps_suppkey")
+
+    q.scan("supplier")
+    q.scan("nation")
+    q.filter_eq("nation", "n_name", nation)
+    q.join("supplier", "s_nationkey", "nation", "n_nationkey")
+    sk = q.col("supplier", "s_suppkey")
+    q.filter_in_keys(sk, good_suppliers)
+    sname = q.col("supplier", "s_name")
+    q.select(
+        [("s_name", sname), ("s_address", q.col("supplier", "s_address"))],
+        order_by=[(sname, True)],
+    )
+    return q.build()
+
+
+def build_q21(db: Database) -> MalProgram:
+    """Q21 suppliers who kept orders waiting (EXISTS / NOT EXISTS)."""
+    q = db.builder("q21")
+    nation = q.param("nation")
+
+    # Orders with >= 2 distinct suppliers (the EXISTS l2 condition).
+    sub_multi = q.subplan("multi")
+    sub_multi.scan("lineitem", "la")
+    multi_keys = sub_multi.groupby([sub_multi.col("la", "l_orderkey")])
+    n_supp = sub_multi.agg_count_distinct(sub_multi.col("la", "l_suppkey"))
+    sub_multi.having_range(n_supp, lo=2)
+
+    # Orders whose *late* lines come from exactly one supplier
+    # (equivalent to the NOT EXISTS l3 condition given l1 is late).
+    sub_late = q.subplan("late")
+    sub_late.scan("lineitem", "lb")
+    lb_commit = sub_late.col("lb", "l_commitdate")
+    lb_receipt = sub_late.col("lb", "l_receiptdate")
+    sub_late.filter_expr(sub_late.cmp("gt", lb_receipt, lb_commit))
+    late_keys = sub_late.groupby([sub_late.col("lb", "l_orderkey")])
+    n_late_supp = sub_late.agg_count_distinct(
+        sub_late.col("lb", "l_suppkey"))
+    sub_late.having_range(n_late_supp, lo=1, hi=1)
+
+    for t in ("supplier", "lineitem", "orders", "nation"):
+        q.scan(t)
+    q.filter_eq("orders", "o_orderstatus", "F")
+    q.filter_eq("nation", "n_name", nation)
+    q.join("lineitem", "l_suppkey", "supplier", "s_suppkey")
+    q.join("lineitem", "l_orderkey", "orders", "o_orderkey")
+    q.join("supplier", "s_nationkey", "nation", "n_nationkey")
+    commit = q.col("lineitem", "l_commitdate")
+    receipt = q.col("lineitem", "l_receiptdate")
+    q.filter_expr(q.cmp("gt", receipt, commit))
+    okey = q.col("lineitem", "l_orderkey")
+    q.filter_in_keys(okey, multi_keys[0])
+    q.filter_in_keys(okey, late_keys[0])
+    keys = q.groupby([q.col("supplier", "s_name")])
+    cnt = q.agg_count()
+    q.select([("s_name", keys[0]), ("numwait", cnt)],
+             order_by=[(cnt, False), (keys[0], True)], limit=100)
+    return q.build()
+
+
+def build_q22(db: Database) -> MalProgram:
+    """Q22 global sales opportunity (anti-join + scalar avg sub-query)."""
+    q = db.builder("q22")
+    codes = q.param("codes")
+
+    sub_avg = q.subplan("avgbal")
+    sub_avg.scan("customer", "c2")
+    cntry2 = sub_avg.substr(sub_avg.col("c2", "c_phone"), 1, 2)
+    sub_avg.filter_in_expr(cntry2, codes)
+    bal2 = sub_avg.col("c2", "c_acctbal")
+    sub_avg.filter_range_expr(bal2, lo=0.0, lo_incl=False)
+    avg_bal = q.b.emit("aggr.avg1", sub_avg.var_of(bal2))
+
+    sub_orders = q.subplan("haveorders")
+    sub_orders.scan("orders", "o2")
+    cust_with_orders = sub_orders.col("o2", "o_custkey")
+
+    q.scan("customer")
+    cntry = q.substr(q.col("customer", "c_phone"), 1, 2)
+    q.filter_in_expr(cntry, codes)
+    bal = q.col("customer", "c_acctbal")
+    q.filter_range_expr(bal, lo=avg_bal, lo_incl=False)
+    ck = q.col("customer", "c_custkey")
+    q.filter_not_in_keys(ck, cust_with_orders)
+    keys = q.groupby([cntry])
+    q.select(
+        [("cntrycode", keys[0]), ("numcust", q.agg_count()),
+         ("totacctbal", q.agg_sum(bal))],
+        order_by=[(keys[0], True)],
+    )
+    return q.build()
+
+
+TEMPLATE_BUILDERS: Dict[str, Callable[[Database], MalProgram]] = {
+    f"q{i:02d}": fn
+    for i, fn in enumerate(
+        [build_q01, build_q02, build_q03, build_q04, build_q05, build_q06,
+         build_q07, build_q08, build_q09, build_q10, build_q11, build_q12,
+         build_q13, build_q14, build_q15, build_q16, build_q17, build_q18,
+         build_q19, build_q20, build_q21, build_q22],
+        start=1,
+    )
+}
+
+
+def build_templates(db: Database, queries=None) -> Dict[str, MalProgram]:
+    """Compile (and register) the requested TPC-H templates against *db*."""
+    out = {}
+    for name, builder in TEMPLATE_BUILDERS.items():
+        if queries is not None and name not in queries:
+            continue
+        program = builder(db)
+        db.register_template(program)
+        out[name] = program
+    return out

@@ -1,0 +1,116 @@
+"""Tests for the benchmark harness and report rendering."""
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.bench import (
+    BatchResult,
+    QueryRecord,
+    mixed_workload,
+    render_series,
+    render_table,
+    run_batch,
+    reused_entries,
+    reused_memory,
+)
+from repro.bench.harness import MIXED_QUERIES
+
+
+class TestBatchResult:
+    def make(self):
+        return BatchResult(records=[
+            QueryRecord("a", 0.1, 2, 4, 100, 1),
+            QueryRecord("b", 0.2, 4, 4, 200, 2),
+        ])
+
+    def test_totals(self):
+        b = self.make()
+        assert b.total_seconds == pytest.approx(0.3)
+        assert b.hits == 6
+        assert b.potential == 8
+        assert b.hit_ratio == pytest.approx(0.75)
+
+    def test_cumulative_curve(self):
+        b = self.make()
+        assert b.cumulative_hit_curve() == [0.5, 0.75]
+
+    def test_empty(self):
+        assert BatchResult().hit_ratio == 0.0
+
+
+class TestMixedWorkload:
+    def test_composition(self):
+        batch = mixed_workload(n_instances_each=3, seed=1, sf=0.01)
+        assert len(batch) == 3 * len(MIXED_QUERIES)
+        from collections import Counter
+
+        counts = Counter(name for name, _p in batch)
+        assert all(counts[q] == 3 for q in MIXED_QUERIES)
+
+    def test_deterministic(self):
+        a = mixed_workload(n_instances_each=2, seed=9, sf=0.01)
+        b = mixed_workload(n_instances_each=2, seed=9, sf=0.01)
+        assert [n for n, _ in a] == [n for n, _ in b]
+
+    def test_shuffled(self):
+        batch = mixed_workload(n_instances_each=5, seed=1, sf=0.01)
+        names = [n for n, _ in batch]
+        assert names != sorted(names)
+
+
+class TestRunBatch:
+    def make_db(self):
+        db = Database()
+        db.create_table("t", {"x": "int64"}, {"x": np.arange(1000)})
+        q = db.builder("q")
+        lo = q.param("lo")
+        q.scan("t")
+        q.filter_range("t", "x", lo=lo)
+        q.select_scalar("n", q.agg_scalar("count"))
+        db.register_template(q.build())
+        return db
+
+    def test_records_and_boundary_hook(self):
+        db = self.make_db()
+        boundaries = []
+        result = run_batch(
+            db,
+            [("q", {"lo": 10}), ("q", {"lo": 10}), ("q", {"lo": 20})],
+            on_boundary=boundaries.append,
+        )
+        assert boundaries == [0, 1, 2]
+        assert len(result.records) == 3
+        assert result.records[1].hits == result.records[1].marked
+
+    def test_reused_memory_and_entries(self):
+        db = self.make_db()
+        run_batch(db, [("q", {"lo": 10}), ("q", {"lo": 10})])
+        assert reused_entries(db) > 0
+        assert reused_memory(db) >= 0
+        naive = Database(recycle=False)
+        assert reused_memory(naive) == 0
+        assert reused_entries(naive) == 0
+
+
+class TestRendering:
+    def test_table_alignment(self):
+        out = render_table("T", ["col", "value"],
+                           [["a", 1.0], ["bb", 123456.0]])
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "col" in lines[2] and "value" in lines[2]
+        assert len({len(line) for line in lines[2:]}) == 1  # aligned
+
+    def test_series(self):
+        out = render_series("S", [1, 2], {"y": [0.5, 0.25]})
+        assert "0.5000" in out and "0.2500" in out
+
+    def test_float_formats(self):
+        from repro.bench.reporting import _fmt
+
+        assert _fmt(0) == "0"
+        assert _fmt(0.12345) == "0.1235"
+        assert _fmt(12.345) == "12.35"
+        assert _fmt(1234.5) == "1234"
+        assert _fmt("x") == "x"

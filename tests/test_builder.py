@@ -1,0 +1,229 @@
+"""Relational builder tests: joins, remapping, grouping, ordering, errors."""
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.errors import PlanError
+
+
+class TestScansAndFilters:
+    def test_duplicate_alias_rejected(self, tiny_db):
+        q = tiny_db.builder("x")
+        q.scan("orders")
+        with pytest.raises(PlanError):
+            q.scan("orders")
+
+    def test_unknown_table_rejected(self, tiny_db):
+        with pytest.raises(Exception):
+            tiny_db.builder("x").scan("nope")
+
+    def test_unknown_column_rejected(self, tiny_db):
+        q = tiny_db.builder("x")
+        q.scan("orders")
+        with pytest.raises(PlanError):
+            q.col("orders", "nope")
+
+    def test_base_filter_after_join_rejected(self, tiny_db):
+        q = tiny_db.builder("x")
+        q.scan("orders")
+        q.scan("lineitem")
+        q.join("lineitem", "l_orderkey", "orders", "o_orderkey")
+        with pytest.raises(PlanError):
+            q.filter_range("orders", "o_date", lo=1)
+
+    def test_chained_base_filters(self, tiny_db):
+        q = tiny_db.builder("x")
+        q.scan("orders")
+        q.filter_range("orders", "o_date", lo=20, hi=80)
+        q.filter_range("orders", "o_cust", lo=5, hi=10)
+        q.select_scalar("n", q.agg_scalar("count"))
+        r = tiny_db.run_template(q.build())
+        t = tiny_db.catalog.table("orders")
+        d, c = t.column_array("o_date"), t.column_array("o_cust")
+        expected = int(((d >= 20) & (d <= 80) & (c >= 5) & (c <= 10)).sum())
+        assert r.value.scalar() == expected
+
+
+class TestJoins:
+    def test_disconnected_join_rejected(self, tiny_db):
+        tiny_db.create_table("extra", {"e": "int64"}, {"e": np.arange(5)})
+        q = tiny_db.builder("x")
+        q.scan("orders")
+        q.scan("lineitem")
+        q.scan("extra")
+        q.join("lineitem", "l_orderkey", "orders", "o_orderkey")
+        with pytest.raises(PlanError):
+            q.col("extra", "e")
+
+    def test_fk_and_generic_join_agree(self, tiny_db):
+        def run(use_fk):
+            db = tiny_db
+            q = db.builder(f"j{use_fk}")
+            q.scan("orders")
+            q.scan("lineitem")
+            if use_fk:
+                q.join("lineitem", "l_orderkey", "orders", "o_orderkey")
+            else:
+                # Swap sides: forces the generic value-join path.
+                q.join("orders", "o_orderkey", "lineitem", "l_orderkey")
+            q.select_scalar("n", q.agg_scalar("count"))
+            return db.run_template(q.build()).value.scalar()
+
+        assert run(True) == run(False)
+
+    def test_join_as_row_filter_when_both_aligned(self, tiny_db):
+        q = tiny_db.builder("rf")
+        q.scan("orders")
+        q.scan("lineitem")
+        q.join("lineitem", "l_orderkey", "orders", "o_orderkey")
+        # Joining the same pair again degenerates to a row filter.
+        q.join("lineitem", "l_orderkey", "orders", "o_orderkey")
+        q.select_scalar("n", q.agg_scalar("count"))
+        r = tiny_db.run_template(q.build())
+        lk = tiny_db.catalog.table("lineitem").column_array("l_orderkey")
+        assert r.value.scalar() == len(lk)
+
+    def test_expressions_survive_remap(self, tiny_db):
+        q = tiny_db.builder("remap")
+        q.scan("orders")
+        q.scan("lineitem")
+        q.join("lineitem", "l_orderkey", "orders", "o_orderkey")
+        qty = q.col("lineitem", "l_qty")          # created before filter
+        q.filter_expr(q.cmp("ge", q.col("orders", "o_date"), 50))
+        total = q.agg_scalar("sum", qty)          # used after remap
+        q.select_scalar("s", total)
+        r = tiny_db.run_template(q.build())
+        o = tiny_db.catalog.table("orders")
+        l = tiny_db.catalog.table("lineitem")
+        dates = o.column_array("o_date")[l.column_array("l_orderkey")]
+        expected = l.column_array("l_qty")[dates >= 50].sum()
+        assert r.value.scalar() == pytest.approx(expected)
+
+
+class TestGrouping:
+    def test_groupby_twice_rejected(self, tiny_db):
+        q = tiny_db.builder("g2")
+        q.scan("orders")
+        keys = q.groupby([q.col("orders", "o_cust")])
+        with pytest.raises(PlanError):
+            q.groupby(keys)
+
+    def test_aggregate_without_group_rejected(self, tiny_db):
+        q = tiny_db.builder("ag")
+        q.scan("orders")
+        with pytest.raises(PlanError):
+            q.agg_count()
+
+    def test_having_requires_group_level(self, tiny_db):
+        q = tiny_db.builder("h")
+        q.scan("orders")
+        c = q.col("orders", "o_cust")
+        with pytest.raises(PlanError):
+            q.having_range(c, lo=1)
+
+    def test_multi_key_group_and_having(self, tiny_db):
+        q = tiny_db.builder("mk")
+        q.scan("lineitem")
+        keys = q.groupby([q.col("lineitem", "l_flag"),
+                          q.col("lineitem", "l_orderkey")])
+        cnt = q.agg_count()
+        q.having_range(cnt, lo=3)
+        q.select([("flag", keys[0]), ("okey", keys[1]), ("n", cnt)])
+        r = tiny_db.run_template(q.build())
+        import collections
+        l = tiny_db.catalog.table("lineitem")
+        agg = collections.Counter(
+            zip(l.column_array("l_flag").tolist(),
+                l.column_array("l_orderkey").tolist())
+        )
+        expected = {(f, k, n) for (f, k), n in agg.items() if n >= 3}
+        assert set(r.value.rows()) == expected
+
+    def test_mixed_output_levels_rejected(self, tiny_db):
+        q = tiny_db.builder("mix")
+        q.scan("orders")
+        c = q.col("orders", "o_cust")
+        keys = q.groupby([c])
+        with pytest.raises(PlanError):
+            q.select([("cust", keys[0]), ("raw", c)])
+
+
+class TestOrderingAndOutput:
+    def test_order_by_limit(self, tiny_db):
+        q = tiny_db.builder("ol")
+        q.scan("orders")
+        d = q.col("orders", "o_date")
+        k = q.col("orders", "o_orderkey")
+        q.select([("k", k)], order_by=[(d, False), (k, True)], limit=3)
+        r = tiny_db.run_template(q.build())
+        t = tiny_db.catalog.table("orders")
+        order = np.lexsort((t.column_array("o_orderkey"),
+                            -t.column_array("o_date")))
+        assert [row[0] for row in r.value.rows()] == \
+            t.column_array("o_orderkey")[order][:3].tolist()
+
+    def test_no_output_rejected(self, tiny_db):
+        q = tiny_db.builder("none")
+        q.scan("orders")
+        with pytest.raises(PlanError):
+            q.build()
+
+    def test_scalar_row_output(self, tiny_db):
+        q = tiny_db.builder("sr")
+        q.scan("lineitem")
+        qty = q.col("lineitem", "l_qty")
+        q.select_scalar_row(
+            ["n", "total"],
+            [q.agg_scalar("count"), q.agg_scalar("sum", qty)],
+        )
+        r = tiny_db.run_template(q.build())
+        assert r.value.width == 2 and len(r.value) == 1
+
+
+class TestSubplans:
+    def test_lookup_and_in_keys(self, tiny_db):
+        # Orders with >= 5 lineitems, via subplan group + filter_in_keys.
+        q = tiny_db.builder("subq")
+        sub = q.subplan("counts")
+        sub.scan("lineitem", "l2")
+        keys = sub.groupby([sub.col("l2", "l_orderkey")])
+        cnt = sub.agg_count()
+        sub.having_range(cnt, lo=5)
+        q.scan("orders")
+        ok = q.col("orders", "o_orderkey")
+        q.filter_in_keys(ok, keys[0])
+        q.select_scalar("n", q.agg_scalar("count"))
+        r = tiny_db.run_template(q.build())
+        import collections
+        counts = collections.Counter(
+            tiny_db.catalog.table("lineitem").column_array("l_orderkey")
+            .tolist()
+        )
+        assert r.value.scalar() == sum(1 for v in counts.values() if v >= 5)
+
+    def test_not_in_keys(self, tiny_db):
+        q = tiny_db.builder("anti")
+        sub = q.subplan("have")
+        sub.scan("lineitem", "l2")
+        have = sub.col("l2", "l_orderkey")
+        q.scan("orders")
+        ok = q.col("orders", "o_orderkey")
+        q.filter_not_in_keys(ok, have)
+        q.select_scalar("n", q.agg_scalar("count"))
+        r = tiny_db.run_template(q.build())
+        o = set(tiny_db.catalog.table("orders")
+                .column_array("o_orderkey").tolist())
+        l = set(tiny_db.catalog.table("lineitem")
+                .column_array("l_orderkey").tolist())
+        assert r.value.scalar() == len(o - l)
+
+    def test_foreign_row_expr_rejected(self, tiny_db):
+        q = tiny_db.builder("cross")
+        sub = q.subplan("s")
+        sub.scan("lineitem", "l2")
+        foreign = sub.col("l2", "l_qty")
+        q.scan("orders")
+        q.col("orders", "o_date")
+        with pytest.raises(PlanError):
+            q.filter_expr(foreign)

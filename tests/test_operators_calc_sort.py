@@ -1,0 +1,204 @@
+"""Tests for column arithmetic, date/string helpers, sorting and slicing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InterpreterError
+from repro.mal.operators.calc import (
+    add_months,
+    batcalc_add,
+    batcalc_and,
+    batcalc_div,
+    batcalc_eq,
+    batcalc_ge,
+    batcalc_ifthenelse,
+    batcalc_like,
+    batcalc_lt,
+    batcalc_mul,
+    batcalc_not,
+    batcalc_or,
+    batcalc_sub,
+    batmtime_year,
+    batstr_substr,
+    calc_add,
+    mtime_addmonths,
+    mtime_adddays,
+    mtime_addyears,
+)
+from repro.mal.operators.sorting import algebra_lexsort, algebra_slice
+from repro.storage.bat import BAT, Dense
+
+
+def dense_bat(values):
+    arr = np.asarray(values)
+    return BAT(Dense(0, len(arr)), arr, owned_nbytes=0)
+
+
+class TestBatcalc:
+    def test_bat_bat(self):
+        out = batcalc_add(None, dense_bat([1, 2]), dense_bat([10, 20]))
+        assert list(out.tail_values()) == [11, 22]
+
+    def test_bat_scalar_and_scalar_bat(self):
+        assert list(batcalc_mul(None, dense_bat([2, 3]), 10).tail_values()) \
+            == [20, 30]
+        assert list(batcalc_sub(None, 1.0, dense_bat([0.25])).tail_values()) \
+            == [0.75]
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(InterpreterError):
+            batcalc_add(None, dense_bat([1]), dense_bat([1, 2]))
+
+    def test_two_scalars_rejected(self):
+        with pytest.raises(InterpreterError):
+            batcalc_add(None, 1, 2)
+
+    def test_comparisons_and_logic(self):
+        a = dense_bat([1, 5, 3])
+        lt = batcalc_lt(None, a, 4)
+        ge = batcalc_ge(None, a, 3)
+        assert list(lt.tail_values()) == [True, False, True]
+        assert list(batcalc_and(None, lt, ge).tail_values()) == \
+            [False, False, True]
+        assert list(batcalc_or(None, lt, ge).tail_values()) == \
+            [True, True, True]
+        assert list(batcalc_not(None, lt).tail_values()) == \
+            [False, True, False]
+
+    def test_eq_strings(self):
+        out = batcalc_eq(None, dense_bat(np.array(["a", "b"])), "b")
+        assert list(out.tail_values()) == [False, True]
+
+    def test_ifthenelse_scalar_branches(self):
+        mask = dense_bat([True, False])
+        out = batcalc_ifthenelse(None, mask, 1.5, 0.0)
+        assert list(out.tail_values()) == [1.5, 0.0]
+
+    def test_ifthenelse_bat_branches(self):
+        mask = dense_bat([True, False])
+        out = batcalc_ifthenelse(None, mask, dense_bat([7.0, 8.0]),
+                                 dense_bat([1.0, 2.0]))
+        assert list(out.tail_values()) == [7.0, 2.0]
+
+    def test_div(self):
+        out = batcalc_div(None, dense_bat([4.0, 9.0]), dense_bat([2.0, 3.0]))
+        assert list(out.tail_values()) == [2.0, 3.0]
+
+    def test_like_mask(self):
+        out = batcalc_like(None,
+                           dense_bat(np.array(["PROMO A", "OTHER"])),
+                           "PROMO%")
+        assert list(out.tail_values()) == [True, False]
+
+
+class TestDateHelpers:
+    def test_year_extraction(self):
+        dates = np.array(["1995-03-04", "1996-12-31"], dtype="datetime64[D]")
+        out = batmtime_year(None, dense_bat(dates))
+        assert list(out.tail_values()) == [1995, 1996]
+
+    def test_year_requires_dates(self):
+        with pytest.raises(InterpreterError):
+            batmtime_year(None, dense_bat([1, 2]))
+
+    def test_addmonths_normal(self):
+        assert mtime_addmonths(None, np.datetime64("1996-07-15"), 3) == \
+            np.datetime64("1996-10-15")
+
+    def test_addmonths_clamps_month_end(self):
+        assert add_months(np.datetime64("1996-01-31"), 1) == \
+            np.datetime64("1996-02-29")  # leap year
+        assert add_months(np.datetime64("1995-01-31"), 1) == \
+            np.datetime64("1995-02-28")
+
+    def test_addmonths_negative(self):
+        assert add_months(np.datetime64("1996-03-31"), -1) == \
+            np.datetime64("1996-02-29")
+
+    def test_addyears_adddays(self):
+        assert mtime_addyears(None, np.datetime64("1996-02-29"), 1) == \
+            np.datetime64("1997-02-28")
+        assert mtime_adddays(None, np.datetime64("1996-12-31"), 1) == \
+            np.datetime64("1997-01-01")
+
+    def test_scalar_calc(self):
+        assert calc_add(None, 2, 3) == 5
+
+
+class TestSubstr:
+    def test_prefix_fast_path(self):
+        out = batstr_substr(None, dense_bat(np.array(["12-345", "99-111"])),
+                            1, 2)
+        assert list(out.tail_values()) == ["12", "99"]
+
+    def test_mid_substring(self):
+        out = batstr_substr(None, dense_bat(np.array(["abcdef"])), 3, 2)
+        assert list(out.tail_values()) == ["cd"]
+
+    def test_non_string_rejected(self):
+        with pytest.raises(InterpreterError):
+            batstr_substr(None, dense_bat([1]), 1, 1)
+
+
+class TestSort:
+    def test_single_key_asc(self):
+        perm = algebra_lexsort(None, (True,), dense_bat([3, 1, 2]))
+        assert list(perm.tail_values()) == [1, 2, 0]
+
+    def test_single_key_desc(self):
+        perm = algebra_lexsort(None, (False,), dense_bat([3, 1, 2]))
+        assert list(perm.tail_values()) == [0, 2, 1]
+
+    def test_string_desc(self):
+        perm = algebra_lexsort(None, (False,),
+                               dense_bat(np.array(["b", "c", "a"])))
+        assert list(perm.tail_values()) == [1, 0, 2]
+
+    def test_date_desc(self):
+        dates = np.array(["1995-01-01", "1997-01-01", "1996-01-01"],
+                         dtype="datetime64[D]")
+        perm = algebra_lexsort(None, (False,), dense_bat(dates))
+        assert list(perm.tail_values()) == [1, 2, 0]
+
+    def test_two_keys_mixed_direction(self):
+        k1 = dense_bat([1, 1, 0, 0])
+        k2 = dense_bat([5.0, 7.0, 6.0, 8.0])
+        perm = algebra_lexsort(None, (True, False), k1, k2)
+        assert list(perm.tail_values()) == [3, 2, 1, 0]
+
+    def test_flag_count_mismatch(self):
+        with pytest.raises(InterpreterError):
+            algebra_lexsort(None, (True,), dense_bat([1]), dense_bat([2]))
+
+    def test_no_keys_rejected(self):
+        with pytest.raises(InterpreterError):
+            algebra_lexsort(None, ())
+
+
+class TestSlice:
+    def test_offset_and_count(self):
+        b = dense_bat([10, 11, 12, 13])
+        out = algebra_slice(None, b, 1, 2)
+        assert list(out.tail_values()) == [11, 12]
+        assert list(out.head_values()) == [1, 2]
+
+    def test_none_count_takes_rest(self):
+        out = algebra_slice(None, dense_bat([1, 2, 3]), 1, None)
+        assert list(out.tail_values()) == [2, 3]
+
+    def test_slice_is_view(self):
+        out = algebra_slice(None, dense_bat(np.arange(100)), 0, 10)
+        assert out.owned_nbytes == 0
+
+
+@given(st.lists(st.integers(min_value=-50, max_value=50), min_size=1,
+                max_size=100))
+@settings(max_examples=50)
+def test_lexsort_desc_is_reverse_of_asc_for_unique_keys(values):
+    arr = np.unique(np.asarray(values, dtype=np.int64))
+    b = dense_bat(arr)
+    asc = algebra_lexsort(None, (True,), b).tail_values()
+    desc = algebra_lexsort(None, (False,), b).tail_values()
+    assert np.array_equal(asc[::-1], desc)

@@ -1,0 +1,139 @@
+"""Template rendering, optimiser-interaction and plan-shape tests.
+
+These pin down properties the recycler depends on structurally: stable
+instruction pcs after optimisation, marking survival through dead-code
+elimination, and the Figure 1-style plan listing.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.mal.optimizer import optimize
+from repro.mal.program import Const
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    rng = np.random.default_rng(2)
+    d.create_table(
+        "orders", {"o_orderkey": "int64", "o_orderdate": "datetime64[D]"},
+        {
+            "o_orderkey": np.arange(100),
+            "o_orderdate": np.datetime64("1996-01-01")
+            + rng.integers(0, 300, 100).astype("timedelta64[D]"),
+        },
+    )
+    d.create_table(
+        "lineitem", {"l_orderkey": "int64", "l_returnflag": "U1"},
+        {
+            "l_orderkey": rng.integers(0, 100, 400),
+            "l_returnflag": rng.choice(["R", "A", "N"], 400),
+        },
+    )
+    d.add_foreign_key("fk", "lineitem", "l_orderkey",
+                      "orders", "o_orderkey")
+    return d
+
+
+def paper_example_template(db):
+    """The paper's running example (§2.2): count distinct orderkeys of
+    'R'-flagged lineitems in a 3-month window."""
+    q = db.builder("s1_2")
+    a0 = q.param("date")
+    a3 = q.param("flag")
+    hi = q.scalar_op("mtime.addmonths", a0, 3)
+    q.scan("lineitem")
+    q.scan("orders")
+    q.filter_eq("lineitem", "l_returnflag", a3)
+    q.filter_range("orders", "o_orderdate", lo=a0, hi=hi, hi_incl=False)
+    q.join("lineitem", "l_orderkey", "orders", "o_orderkey")
+    okey = q.col("orders", "o_orderkey")
+    n = q.agg_scalar("countdistinct", okey)
+    q.select_scalar("L1", n)
+    return q.build()
+
+
+class TestPaperExample:
+    def test_plan_uses_join_index(self, db):
+        prog = paper_example_template(db)
+        ops = [i.opname for i in prog.instrs]
+        assert "sql.bindidx" in ops          # the li_fkey path of Fig 1
+        assert "algebra.uselect" in ops      # l_returnflag = 'R'
+        assert "algebra.select" in ops       # o_orderdate range
+
+    def test_majority_of_instructions_marked(self, db):
+        prog = paper_example_template(db)
+        assert prog.n_marked / len(prog.instrs) > 0.5  # Fig 2 shading
+
+    def test_correct_result(self, db):
+        prog = paper_example_template(db)
+        db.register_template(prog)
+        r = db.run_template("s1_2", {"date": np.datetime64("1996-03-01"),
+                                     "flag": "R"})
+        o = db.catalog.table("orders")
+        li = db.catalog.table("lineitem")
+        dates = o.column_array("o_orderdate")
+        in_window = (
+            (dates >= np.datetime64("1996-03-01"))
+            & (dates < np.datetime64("1996-06-01"))
+        )
+        ok = set(o.column_array("o_orderkey")[in_window].tolist())
+        expected = len({
+            k for k, f in zip(li.column_array("l_orderkey"),
+                              li.column_array("l_returnflag"))
+            if f == "R" and k in ok
+        })
+        assert r.value.scalar() == expected
+
+    def test_parameter_dependence_split(self, db):
+        """Dark vs light shading of Fig 2: flag-side instructions reuse
+        across different date windows, date-side ones do not."""
+        prog = paper_example_template(db)
+        db.register_template(prog)
+        db.run_template("s1_2", {"date": np.datetime64("1996-03-01"),
+                                 "flag": "R"})
+        r = db.run_template("s1_2", {"date": np.datetime64("1996-07-01"),
+                                     "flag": "R"})
+        assert 0 < r.stats.hits < r.stats.n_marked
+
+
+class TestRenderAndPcs:
+    def test_render_shows_params_and_marks(self, db):
+        prog = paper_example_template(db)
+        text = prog.render()
+        assert "function s1_2(" in text
+        assert "* " in text and " := " in text
+
+    def test_pcs_stable_after_optimize(self, db):
+        prog = paper_example_template(db)
+        again = optimize(prog)
+        assert [i.pc for i in again.instrs] == list(range(len(again.instrs)))
+
+    def test_marking_survives_reoptimisation(self, db):
+        prog = paper_example_template(db)
+        marked_before = [i.opname for i in prog.instrs if i.recycle]
+        again = optimize(prog)
+        marked_after = [i.opname for i in again.instrs if i.recycle]
+        assert marked_before == marked_after
+
+
+class TestTemplateIdentityForCredits:
+    def test_same_pc_same_key_across_invocations(self, db):
+        from repro import CreditAdmission
+
+        d = Database(admission=CreditAdmission(credits=1))
+        d.create_table("t", {"x": "int64"}, {"x": np.arange(100)})
+        q = d.builder("k")
+        lo = q.param("lo")
+        q.scan("t")
+        q.filter_range("t", "x", lo=lo)
+        q.select_scalar("n", q.agg_scalar("count"))
+        d.register_template(q.build())
+        d.run_template("k", {"lo": 1})
+        d.run_template("k", {"lo": 2})   # same instruction key: no credit
+        admissions = d.recycler.totals.admissions
+        d.run_template("k", {"lo": 3})
+        # With 1 credit and no reuse, later instances admit nothing new.
+        assert d.recycler.totals.admissions == admissions

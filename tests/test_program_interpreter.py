@@ -1,0 +1,149 @@
+"""Tests for program representation, optimiser passes and the interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InterpreterError, PlanError
+from repro.mal.interpreter import Interpreter
+from repro.mal.optimizer import (
+    eliminate_dead_code,
+    inject_garbage_collection,
+    mark_for_recycling,
+    optimize,
+)
+from repro.mal.program import Const, Instr, MalProgram, ProgramBuilder, VarRef
+from repro.storage.catalog import Catalog, ColumnDef, TableDef
+
+
+def make_catalog():
+    cat = Catalog()
+    cat.create_table(
+        TableDef("t", [ColumnDef("k", "int64"), ColumnDef("v", "float64")]),
+        {"k": np.arange(20), "v": np.arange(20) * 0.5},
+    )
+    return cat
+
+
+def simple_program(name="p"):
+    b = ProgramBuilder(name)
+    lo = b.param("lo")
+    col = b.emit("sql.bind", Const("t"), Const("v"))
+    sel = b.emit("algebra.select", col, lo, Const(None), Const(True),
+                 Const(True))
+    cnt = b.emit("aggr.count1", sel)
+    out = b.emit("sql.exportValue", Const("n"), cnt)
+    b.set_result(out)
+    return b.build()
+
+
+class TestProgramBuilder:
+    def test_param_reuse_returns_same_var(self):
+        b = ProgramBuilder("x")
+        assert b.param("a") == b.param("a")
+
+    def test_undefined_variable_rejected(self):
+        with pytest.raises(PlanError):
+            MalProgram("bad", [Instr("bat.reverse", 1, (VarRef(0),))],
+                       nvars=2, params={})
+
+    def test_overwriting_parameter_rejected(self):
+        with pytest.raises(PlanError):
+            MalProgram("bad", [Instr("sql.bind", 0,
+                                     (Const("t"), Const("k")))],
+                       nvars=1, params={"a": 0})
+
+    def test_pc_assigned(self):
+        prog = simple_program()
+        assert [i.pc for i in prog.instrs] == list(range(len(prog.instrs)))
+
+    def test_render_contains_marks(self):
+        prog = optimize(simple_program())
+        text = prog.render()
+        assert "sql.bind" in text and "*" in text
+
+
+class TestOptimizerPasses:
+    def test_dead_code_removed(self):
+        b = ProgramBuilder("dead")
+        col = b.emit("sql.bind", Const("t"), Const("v"))
+        b.emit("bat.reverse", col)  # dead
+        out = b.emit("sql.exportValue", Const("x"), b.const(1))
+        b.set_result(out)
+        prog = eliminate_dead_code(b.build())
+        assert all(i.opname != "bat.reverse" for i in prog.instrs)
+        # The bind feeding only the dead reverse dies too.
+        assert all(i.opname != "sql.bind" for i in prog.instrs)
+
+    def test_marking_roots_at_bind(self):
+        prog = mark_for_recycling(simple_program())
+        ops = {i.opname: i.recycle for i in prog.instrs}
+        assert ops["sql.bind"] is True
+        assert ops["algebra.select"] is True       # param arg counts
+        assert ops["sql.exportValue"] is False
+
+    def test_marking_blocks_on_unmarked_dependency(self):
+        b = ProgramBuilder("m")
+        col = b.emit("sql.bind", Const("t"), Const("v"))
+        cnt = b.emit("aggr.count1", col)            # not recyclable
+        # select over a value derived from a non-scalar unmarked var is
+        # itself unmarkable.
+        out = b.emit("sql.exportValue", Const("n"), cnt)
+        b.set_result(out)
+        prog = mark_for_recycling(b.build())
+        assert prog.instrs[0].recycle
+        assert not prog.instrs[1].recycle
+
+    def test_scalar_ops_transparent_for_marking(self):
+        b = ProgramBuilder("s")
+        d = b.param("d")
+        d2 = b.emit("mtime.addmonths", d, Const(3))
+        col = b.emit("sql.bind", Const("t"), Const("v"))
+        sel = b.emit("algebra.select", col, d, d2, Const(True), Const(True))
+        out = b.emit("sql.exportValue", Const("n"),
+                     b.emit("aggr.count1", sel))
+        b.set_result(out)
+        prog = mark_for_recycling(b.build())
+        by_op = {i.opname: i for i in prog.instrs}
+        assert not by_op["mtime.addmonths"].recycle
+        assert by_op["algebra.select"].recycle
+
+    def test_gc_frees_after_last_use(self):
+        prog = inject_garbage_collection(simple_program())
+        freed = [v for vs in prog.free_after.values() for v in vs]
+        assert freed  # something is freed
+        assert prog.result_var not in freed
+
+
+class TestInterpreter:
+    def test_missing_parameter(self):
+        interp = Interpreter(make_catalog())
+        with pytest.raises(InterpreterError):
+            interp.run(optimize(simple_program()))
+
+    def test_run_and_result(self):
+        interp = Interpreter(make_catalog())
+        res = interp.run(optimize(simple_program()), {"lo": 5.0})
+        assert res.value.scalar() == 10
+        assert res.stats.n_instructions > 0
+
+    def test_unknown_operator(self):
+        b = ProgramBuilder("u")
+        out = b.emit("no.such.op")
+        b.set_result(out)
+        with pytest.raises(PlanError):
+            Interpreter(make_catalog()).run(b.build())
+
+    def test_stats_track_marked_instructions(self):
+        from repro.core import Recycler
+
+        interp = Interpreter(make_catalog(), recycler=Recycler())
+        prog = optimize(simple_program())
+        res = interp.run(prog, {"lo": 0.0})
+        assert res.stats.n_marked == prog.n_marked
+        assert res.stats.potential_time >= 0
+
+    def test_injected_clock_used(self):
+        ticks = iter(range(1000))
+        interp = Interpreter(make_catalog(), clock=lambda: next(ticks))
+        res = interp.run(optimize(simple_program()), {"lo": 0.0})
+        assert res.stats.wall_time > 0

@@ -1,0 +1,121 @@
+"""SQL front-end over the TPC-H schema: spec-style single-block queries.
+
+TPC-H queries expressible in our SQL subset (Q1, Q3, Q5, Q6, Q10-like)
+run through `Database.execute` and are cross-checked against the
+hand-built templates of :mod:`repro.workloads.tpch.queries`, proving the
+two lowering paths agree.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads.tpch import ParamGenerator
+
+
+def test_q6_sql_matches_template(tpch_db):
+    pg = ParamGenerator(seed=17, sf=0.005)
+    p = pg.params_for("q06")
+    date = str(p["date"])
+    sql = (
+        "select sum(l_extendedprice * l_discount) as revenue "
+        "from lineitem "
+        f"where l_shipdate >= date '{date}' "
+        f"and l_shipdate < date '{date}' + interval '1' year "
+        f"and l_discount between {p['disc_lo']} and {p['disc_hi']} "
+        f"and l_quantity < {p['quantity']}"
+    )
+    via_sql = tpch_db.execute(sql).value.scalar()
+    via_template = tpch_db.run_template("q06", p).value.scalar()
+    if np.isnan(via_sql) or np.isnan(via_template):
+        assert np.isnan(via_sql) and np.isnan(via_template)
+    else:
+        assert via_sql == pytest.approx(via_template)
+
+
+def test_q1_style_sql(tpch_db):
+    sql = (
+        "select l_returnflag, l_linestatus, sum(l_quantity) as sum_qty, "
+        "avg(l_extendedprice) as avg_price, count(*) as n "
+        "from lineitem where l_shipdate <= date '1998-09-01' "
+        "group by l_returnflag, l_linestatus "
+        "order by l_returnflag, l_linestatus"
+    )
+    r = tpch_db.execute(sql)
+    li = tpch_db.catalog.table("lineitem")
+    mask = li.column_array("l_shipdate") <= np.datetime64("1998-09-01")
+    import collections
+
+    agg = collections.defaultdict(lambda: [0.0, 0.0, 0])
+    for f, s, q, e in zip(
+        li.column_array("l_returnflag")[mask],
+        li.column_array("l_linestatus")[mask],
+        li.column_array("l_quantity")[mask],
+        li.column_array("l_extendedprice")[mask],
+    ):
+        agg[(f, s)][0] += q
+        agg[(f, s)][1] += e
+        agg[(f, s)][2] += 1
+    expected = sorted(
+        (f, s, q, e / n, n) for (f, s), (q, e, n) in agg.items()
+    )
+    got = r.value.rows()
+    assert len(got) == len(expected)
+    for g, e in zip(got, expected):
+        assert g[0] == e[0] and g[1] == e[1]
+        assert g[2] == pytest.approx(e[2])
+        assert g[3] == pytest.approx(e[3])
+        assert g[4] == e[4]
+
+
+def test_q3_style_sql_with_joins(tpch_db):
+    sql = (
+        "select l_orderkey, sum(l_extendedprice * (1 - l_discount)) "
+        "as revenue, o_orderdate, o_shippriority "
+        "from customer, orders, lineitem "
+        "where c_mktsegment = 'BUILDING' and c_custkey = o_custkey "
+        "and l_orderkey = o_orderkey "
+        "and o_orderdate < date '1995-03-15' "
+        "and l_shipdate > date '1995-03-15' "
+        "group by l_orderkey, o_orderdate, o_shippriority "
+        "order by revenue desc, o_orderdate limit 10"
+    )
+    r = tpch_db.execute(sql)
+    assert r.value.width == 4
+    revenues = r.value.column("revenue")
+    assert all(a >= b for a, b in zip(revenues, revenues[1:]))
+
+
+def test_q5_style_sql_six_way_join(tpch_db):
+    sql = (
+        "select n_name, sum(l_extendedprice * (1 - l_discount)) as revenue "
+        "from customer, orders, lineitem, supplier, nation, region "
+        "where c_custkey = o_custkey and l_orderkey = o_orderkey "
+        "and l_suppkey = s_suppkey and c_nationkey = s_nationkey "
+        "and s_nationkey = n_nationkey and n_regionkey = r_regionkey "
+        "and r_name = 'ASIA' "
+        "and o_orderdate >= date '1994-01-01' "
+        "and o_orderdate < date '1994-01-01' + interval '1' year "
+        "group by n_name order by revenue desc"
+    )
+    via_sql = sorted(tpch_db.execute(sql).value.rows())
+    pg_params = {"region": "ASIA", "date": np.datetime64("1994-01-01")}
+    via_template = sorted(tpch_db.run_template("q05", pg_params).value
+                          .rows())
+    assert len(via_sql) == len(via_template)
+    for a, b in zip(via_sql, via_template):
+        assert a[0] == b[0]
+        assert a[1] == pytest.approx(b[1])
+
+
+def test_sql_template_reuse_on_tpch(tpch_db):
+    sql1 = ("select count(*) from orders "
+            "where o_orderdate >= date '1995-01-01'")
+    sql2 = ("select count(*) from orders "
+            "where o_orderdate >= date '1996-01-01'")
+    tpch_db.execute(sql1)
+    r = tpch_db.execute(sql2)
+    assert r.stats.hits >= 1  # shared template prefix
+    d = tpch_db.catalog.table("orders").column_array("o_orderdate")
+    assert r.value.scalar() == int(
+        (d >= np.datetime64("1996-01-01")).sum()
+    )
