@@ -29,12 +29,26 @@ from repro.core import (
 from repro.mal.interpreter import ExecutionStats, Interpreter, InvocationResult
 from repro.mal.operators import ResultSet
 from repro.rel.builder import QueryBuilder
+from repro.server import (
+    ConcurrentResult,
+    ReadWriteLock,
+    Session,
+    SessionManager,
+    SessionStats,
+    WorkItem,
+)
 from repro.storage import BAT, Catalog
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Database",
+    "Session",
+    "SessionStats",
+    "SessionManager",
+    "ConcurrentResult",
+    "WorkItem",
+    "ReadWriteLock",
     "Recycler",
     "RecyclerConfig",
     "KeepAllAdmission",

@@ -7,11 +7,14 @@ per-experiment index and EXPERIMENTS.md for paper-vs-measured results.
 
 from repro.bench.harness import (
     BatchResult,
+    ConcurrentBatchResult,
     QueryRecord,
+    SessionRecord,
     fresh_tpch_db,
     mixed_workload,
     profile_template,
     run_batch,
+    run_batch_concurrent,
     reused_entries,
     reused_memory,
     warm_up,
@@ -20,7 +23,10 @@ from repro.bench.reporting import render_series, render_table
 
 __all__ = [
     "BatchResult",
+    "ConcurrentBatchResult",
     "QueryRecord",
+    "SessionRecord",
+    "run_batch_concurrent",
     "fresh_tpch_db",
     "mixed_workload",
     "profile_template",

@@ -15,14 +15,15 @@ import numpy as np
 
 from repro.db import Database
 from repro.workloads.tpch import (
+    MIXED_TEMPLATES,
     ParamGenerator,
     build_templates,
     load_tpch,
+    mixed_instances,
 )
 
 #: The paper's mixed workload (§7.2): ten templates with large overlaps.
-MIXED_QUERIES = ["q04", "q07", "q08", "q11", "q12", "q16", "q18", "q19",
-                 "q21", "q22"]
+MIXED_QUERIES = list(MIXED_TEMPLATES)
 
 
 @dataclass
@@ -94,17 +95,10 @@ def warm_up(db: Database, queries: Sequence[str],
 
 
 def mixed_workload(n_instances_each: int = 20, seed: int = 77,
-                   queries: Sequence[str] = tuple(MIXED_QUERIES),
+                   queries: Sequence[str] = MIXED_TEMPLATES,
                    sf: float = 0.01) -> List[Tuple[str, Dict[str, Any]]]:
     """The §7.2 batch: *n* instances of each template, shuffled."""
-    pg = ParamGenerator(seed=seed, sf=sf)
-    items: List[Tuple[str, Dict[str, Any]]] = []
-    for name in queries:
-        for _ in range(n_instances_each):
-            items.append((name, pg.params_for(name)))
-    rng = np.random.default_rng(seed)
-    rng.shuffle(items)
-    return items
+    return mixed_instances(n_instances_each, seed, queries, sf)
 
 
 def run_batch(db: Database,
@@ -130,6 +124,107 @@ def run_batch(db: Database,
             pool_bytes=db.pool_bytes,
             pool_entries=db.pool_entries,
         ))
+    return result
+
+
+@dataclass
+class SessionRecord:
+    """Per-session aggregate of a concurrent batch run."""
+
+    session: str
+    queries: int
+    hits: int
+    marked: int
+    hits_local: int
+    hits_global: int
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.marked if self.marked else 0.0
+
+
+@dataclass
+class ConcurrentBatchResult:
+    """A multi-session batch: workload-order records plus session stats."""
+
+    records: List[QueryRecord] = field(default_factory=list)
+    sessions: List[SessionRecord] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    errors: int = 0
+    global_hits: int = 0
+
+    @property
+    def hits(self) -> int:
+        return sum(r.hits for r in self.records)
+
+    @property
+    def potential(self) -> int:
+        return sum(r.marked for r in self.records)
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.potential if self.potential else 0.0
+
+    def render(self) -> str:
+        """Per-session summary table (the concurrent analogue of Fig 4)."""
+        header = (
+            f"{'session':<12}{'queries':>9}{'hits':>7}{'marked':>8}"
+            f"{'local':>7}{'global':>8}{'ratio':>8}"
+        )
+        lines = [header, "-" * len(header)]
+        for s in self.sessions:
+            lines.append(
+                f"{s.session:<12}{s.queries:>9}{s.hits:>7}{s.marked:>8}"
+                f"{s.hits_local:>7}{s.hits_global:>8}{s.hit_ratio:>8.2f}"
+            )
+        lines.append(
+            f"{'total':<12}{sum(s.queries for s in self.sessions):>9}"
+            f"{self.hits:>7}{self.potential:>8}"
+            f"{sum(s.hits_local for s in self.sessions):>7}"
+            f"{self.global_hits:>8}{self.hit_ratio:>8.2f}"
+        )
+        return "\n".join(lines)
+
+
+def run_batch_concurrent(db: Database,
+                         instances: Sequence[Tuple[str, Dict[str, Any]]],
+                         n_sessions: int = 4,
+                         collect_values: bool = False
+                         ) -> ConcurrentBatchResult:
+    """Execute a batch across *n_sessions* threads sharing one pool.
+
+    The concurrent counterpart of :func:`run_batch`: instances are dealt
+    round-robin to sessions, per-query records come back in workload order
+    (tagged with pool state *after* the whole run, since mid-run pool
+    sizes are racy by construction), and per-session aggregates report the
+    local/global hit split — global hits are the cross-session reuses the
+    single-loop benchmarks cannot produce.
+    """
+    cr = db.execute_concurrent(instances, n_sessions=n_sessions,
+                               collect_values=collect_values)
+    result = ConcurrentBatchResult(wall_seconds=cr.wall_seconds,
+                                   errors=len(cr.errors))
+    for o in cr.outcomes:
+        if o.error is not None:
+            continue
+        result.records.append(QueryRecord(
+            template=o.template,
+            seconds=o.seconds,
+            hits=o.hits,
+            marked=o.marked,
+            pool_bytes=db.pool_bytes,
+            pool_entries=db.pool_entries,
+        ))
+    for name, stats in sorted(cr.sessions.items()):
+        result.sessions.append(SessionRecord(
+            session=name,
+            queries=stats.queries,
+            hits=stats.hits,
+            marked=stats.marked,
+            hits_local=stats.hits_local,
+            hits_global=stats.hits_global,
+        ))
+        result.global_hits += stats.hits_global
     return result
 
 

@@ -10,6 +10,12 @@ alternative 1 (§3.4), with lineage preserved as §4.1 requires.
 The pool also maintains the dependency graph between entries (who consumes
 whose result), which the eviction policies need: only *leaf* entries — no
 dependents in the pool — may be evicted (§4.3).
+
+The pool itself is not thread-safe: in multi-session mode every call runs
+under the owning :class:`~repro.core.recycler.Recycler`'s lock (see the
+recycler module docstring for the full concurrency contract).
+:meth:`RecyclePool.check_invariants` recomputes all derived state from
+scratch so tests can assert the incremental bookkeeping never drifts.
 """
 
 from __future__ import annotations
@@ -92,6 +98,12 @@ class RecyclePool:
         # Incrementally maintained leaf set (entries with no dependents) —
         # eviction consults this on every admission at the resource limit.
         self._leaf_sigs: Set[Signature] = set()
+        # arg-token -> number of pool entries consuming it.  Kept even for
+        # tokens whose producer is not (or no longer) pooled: a persistent
+        # bind result has a stable token, so its entry can be evicted and
+        # re-admitted *after* consumers of that token — the re-admitted
+        # entry must start with the surviving consumer count, not zero.
+        self._consumers: Dict[int, int] = {}
         self.total_bytes = 0
 
     # ------------------------------------------------------------------
@@ -123,10 +135,15 @@ class RecyclePool:
         token = entry.result_token
         if token is not None:
             self._by_token[token] = entry
+            # Consumers admitted while our token had no pooled producer
+            # (possible for stable persistent-bind tokens) count from the
+            # start — otherwise their later removal drives us negative.
+            entry.dependents = self._consumers.get(token, 0)
         first = self._first_bat_token(entry.sig)
         if first is not None:
             self._by_op_arg.setdefault((entry.opname, first), []).append(entry)
         for t in entry.arg_tokens:
+            self._consumers[t] = self._consumers.get(t, 0) + 1
             parent = self._by_token.get(t)
             if parent is not None:
                 parent.dependents += 1
@@ -178,6 +195,11 @@ class RecyclePool:
                 if not bucket:
                     del self._by_op_arg[(entry.opname, first)]
         for t in entry.arg_tokens:
+            remaining = self._consumers.get(t, 0) - 1
+            if remaining > 0:
+                self._consumers[t] = remaining
+            else:
+                self._consumers.pop(t, None)
             if skip_parent_tokens and t in skip_parent_tokens:
                 continue
             parent = self._by_token.get(t)
@@ -228,6 +250,90 @@ class RecyclePool:
                 break
         return out
 
+    def check_invariants(self) -> None:
+        """Recompute all derived pool state and compare with the books.
+
+        Raises :class:`RecyclerError` naming every discrepancy found:
+        byte/entry accounting, the token index, the subsumption buckets,
+        the dependency counts, and the incremental leaf set.  Meant for
+        tests and debugging — it is O(pool size).
+        """
+        problems: List[str] = []
+        entries = list(self._by_sig.values())
+
+        true_bytes = sum(e.nbytes for e in entries)
+        if true_bytes != self.total_bytes:
+            problems.append(
+                f"total_bytes drift: recorded {self.total_bytes}, "
+                f"recomputed {true_bytes}"
+            )
+
+        true_tokens = {
+            e.result_token: e for e in entries if e.result_token is not None
+        }
+        if set(true_tokens) != set(self._by_token):
+            problems.append(
+                f"token index drift: recorded {sorted(self._by_token)}, "
+                f"recomputed {sorted(true_tokens)}"
+            )
+        else:
+            for t, e in true_tokens.items():
+                if self._by_token[t] is not e:
+                    problems.append(f"token {t} maps to a stale entry")
+
+        true_deps: Dict[Signature, int] = {e.sig: 0 for e in entries}
+        for e in entries:
+            for t in e.arg_tokens:
+                parent = true_tokens.get(t)
+                if parent is not None:
+                    true_deps[parent.sig] += 1
+        for e in entries:
+            if e.dependents != true_deps[e.sig]:
+                problems.append(
+                    f"dependents drift on {e.opname}: recorded "
+                    f"{e.dependents}, recomputed {true_deps[e.sig]}"
+                )
+
+        true_consumers: Dict[int, int] = {}
+        for e in entries:
+            for t in e.arg_tokens:
+                true_consumers[t] = true_consumers.get(t, 0) + 1
+        if true_consumers != self._consumers:
+            problems.append(
+                f"consumer index drift: {len(self._consumers)} recorded "
+                f"tokens vs {len(true_consumers)} recomputed"
+            )
+
+        true_leaves = {sig for sig, n in true_deps.items() if n == 0}
+        if true_leaves != self._leaf_sigs:
+            problems.append(
+                f"leaf set drift: {len(self._leaf_sigs)} recorded vs "
+                f"{len(true_leaves)} recomputed"
+            )
+
+        true_buckets: Dict[Tuple[str, int], List[RecycleEntry]] = {}
+        for e in entries:
+            first = self._first_bat_token(e.sig)
+            if first is not None:
+                true_buckets.setdefault((e.opname, first), []).append(e)
+        if set(true_buckets) != set(self._by_op_arg):
+            problems.append(
+                "subsumption bucket keys drift: "
+                f"{sorted(k[0] for k in self._by_op_arg)} recorded vs "
+                f"{sorted(k[0] for k in true_buckets)} recomputed"
+            )
+        else:
+            for key, bucket in true_buckets.items():
+                recorded = self._by_op_arg[key]
+                if len(recorded) != len(bucket) or \
+                        any(e not in recorded for e in bucket):
+                    problems.append(f"bucket {key} contents drift")
+
+        if problems:
+            raise RecyclerError(
+                "pool invariants violated:\n  " + "\n  ".join(problems)
+            )
+
     def clear(self) -> List[RecycleEntry]:
         """Empty the pool, returning the removed entries."""
         removed = list(self._by_sig.values())
@@ -235,6 +341,7 @@ class RecyclePool:
         self._by_token.clear()
         self._by_op_arg.clear()
         self._leaf_sigs.clear()
+        self._consumers.clear()
         self.total_bytes = 0
         for e in removed:
             e.dependents = 0

@@ -33,7 +33,19 @@ def _is_select_over_bind(entry: RecycleEntry, table: str) -> bool:
     if not isinstance(value, BAT) or len(value.sources) != 1:
         return False
     (src_table, _col, _ver), = value.sources
-    return src_table == table
+    if src_table != table:
+        return False
+    # The operand must be the persistent bind itself — a select over a
+    # *derived* intermediate (e.g. the second leg of a chained range
+    # predicate) shares the bind's sources, but appending delta rows to it
+    # would skip the upstream predicate, and re-keying it onto the bind
+    # token would collide with the true select-over-bind of the same
+    # range.  A direct select's subset lineage is exactly (operand,).
+    op_arg = entry.sig[1] if len(entry.sig) > 1 else None
+    return (
+        isinstance(op_arg, tuple) and op_arg[0] == "b"
+        and value.subset_chain == (op_arg[1],)
+    )
 
 
 def _range_mask(values: np.ndarray, lo, hi, lo_incl, hi_incl) -> np.ndarray:
@@ -75,6 +87,13 @@ def propagate_append(recycler, catalog, delta: TableDelta) -> int:
             hi_incl = bool(entry.sig[5][1])
         except (IndexError, TypeError):
             continue
+        # Where the entry would land after re-keying; if something already
+        # holds that signature, leave this entry to plain invalidation.
+        new_bind = catalog.bind(table, column)
+        new_sig = (entry.sig[0], ("b", new_bind.token)) + entry.sig[2:]
+        if new_sig != entry.sig and new_sig in pool:
+            continue
+
         mask = _range_mask(new_vals, lo, hi, lo_incl, hi_incl)
         add_heads = np.arange(delta.insert_start,
                               delta.insert_start + len(new_vals),
@@ -93,11 +112,9 @@ def propagate_append(recycler, catalog, delta: TableDelta) -> int:
             value.tail_sorted = False
             value.owned_nbytes = int(heads.nbytes + tails.nbytes)
         # Re-anchor at the updated column: fresh source + fresh bind token.
-        new_bind = catalog.bind(table, column)
         value.sources = new_bind.sources
         value.subset_of = new_bind.token
         value.subset_chain = (new_bind.token,)
-        new_sig = (entry.sig[0], ("b", new_bind.token)) + entry.sig[2:]
         _rekey(pool, entry, new_sig, value.owned_nbytes - old_bytes)
         entry.tuples = len(value)
         propagated += 1

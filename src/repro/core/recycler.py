@@ -13,10 +13,19 @@ instruction:
 Update synchronisation (§6.4) enters through :meth:`on_update`: immediate,
 column-wise invalidation, with optional delta propagation for eligible
 select intermediates (the §6.3 design, see :mod:`repro.core.propagation`).
+
+Concurrency contract (multi-session mode, :mod:`repro.server`): all pool
+state — the :class:`RecyclePool`, the admission/eviction policies, and the
+cumulative totals — is guarded by one re-entrant ``lock``.  Every public
+entry point acquires it; operator execution stays outside (the interpreter
+calls in only for Algorithm 1 bookkeeping), so sessions overlap their real
+work.  Eviction protects the union of all *active* invocations' touched
+sets, generalising the §4.3 single-query protection rule.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
@@ -129,24 +138,40 @@ class Recycler:
         self.pool = RecyclePool()
         self.totals = RecyclerTotals()
         self._invocation_seq = 0
+        #: Guards all pool state; re-entrant so internal helpers can call
+        #: public entry points.  See the module docstring for the contract.
+        self.lock = threading.RLock()
+        #: In-flight invocations (any session) — their touched entries are
+        #: protected from eviction (§4.3, multi-session generalisation).
+        self._active: Dict[int, Invocation] = {}
 
     # ------------------------------------------------------------------
     # Interpreter-facing API (Algorithm 1)
     # ------------------------------------------------------------------
     def begin_invocation(self, program: MalProgram, stats,
                          clock: Callable[[], float]) -> Invocation:
-        self._invocation_seq += 1
-        self.totals.invocations += 1
-        self.admission.on_invocation_start(program.name)
-        return Invocation(self._invocation_seq, program, stats, clock)
+        with self.lock:
+            self._invocation_seq += 1
+            self.totals.invocations += 1
+            self.admission.on_invocation_start(program.name)
+            inv = Invocation(self._invocation_seq, program, stats, clock)
+            self._active[inv.id] = inv
+            return inv
 
     def end_invocation(self, invocation: Optional[Invocation]) -> None:
         if invocation is not None:
-            invocation.touched.clear()
+            with self.lock:
+                self._active.pop(invocation.id, None)
+                invocation.touched.clear()
 
     def recycle_entry(self, inv: Invocation, instr: Instr, opdef,
                       args: Tuple) -> Optional[_Reuse]:
         """Pool lookup (exact, then subsumption).  None means: execute."""
+        with self.lock:
+            return self._recycle_entry_locked(inv, instr, opdef, args)
+
+    def _recycle_entry_locked(self, inv: Invocation, instr: Instr, opdef,
+                              args: Tuple) -> Optional[_Reuse]:
         sig = make_signature(instr.opname, args)
         entry = self.pool.lookup(sig)
         if entry is not None:
@@ -189,7 +214,8 @@ class Recycler:
                      args: Tuple, value: Any, elapsed: float) -> None:
         """Admission decision for a genuinely executed instruction."""
         sig = make_signature(instr.opname, args)
-        self._admit(inv, instr, opdef, sig, args, value, elapsed)
+        with self.lock:
+            self._admit(inv, instr, opdef, sig, args, value, elapsed)
 
     # ------------------------------------------------------------------
     # Internals
@@ -253,7 +279,11 @@ class Recycler:
 
     def _ensure_capacity(self, inv: Invocation, incoming_bytes: int) -> None:
         cfg = self.config
-        protected = inv.touched
+        # Protect every in-flight invocation's touched entries, not just
+        # ours — another session may be mid-plan over a pooled value.
+        protected: Set[Signature] = set(inv.touched)
+        for active in self._active.values():
+            protected |= active.touched
 
         def need_bytes() -> int:
             if cfg.max_bytes is None:
@@ -456,34 +486,61 @@ class Recycler:
         append-only delta available, eligible select intermediates are
         refreshed in place instead (§6.3).
         """
-        propagated = 0
-        if (self.config.propagate_selects and catalog is not None
-                and delta is not None and delta.append_only):
-            from repro.core.propagation import propagate_append
+        with self.lock:
+            propagated = 0
+            if (self.config.propagate_selects and catalog is not None
+                    and delta is not None and delta.append_only):
+                from repro.core.propagation import propagate_append
 
-            propagated = propagate_append(self, catalog, delta)
-            self.totals.propagated += propagated
-        stale_columns = {(table, c) for c in columns}
-        current_versions = None
-        if catalog is not None and catalog.has_table(table):
-            tab = catalog.table(table)
-            current_versions = {
-                (table, c, tab.versions[c]) for c in columns
+                propagated = propagate_append(self, catalog, delta)
+                self.totals.propagated += propagated
+            stale_columns = {(table, c) for c in columns}
+            current_versions = None
+            if catalog is not None and catalog.has_table(table):
+                tab = catalog.table(table)
+                current_versions = {
+                    (table, c, tab.versions[c]) for c in columns
+                }
+            stale = self.pool.stale_entries(stale_columns, current_versions)
+            removed = self.pool.remove_set(stale)
+            for entry in stale:
+                self.admission.on_evict(entry)
+            self.totals.invalidations += removed
+            return removed
+
+    def on_drop_table(self, table: str) -> int:
+        """Drop every entry derived from *table* (§6.3 DDL handling).
+
+        Dependent intermediates must go at once: dependents of a stale
+        entry inherit its sources, so the stale set is dependency-closed.
+        """
+        with self.lock:
+            table_cols = {
+                (table, c)
+                for e in self.pool.entries()
+                for (t, c, _v) in getattr(e.value, "sources", frozenset())
+                if t == table
             }
-        stale = self.pool.stale_entries(stale_columns, current_versions)
-        removed = self.pool.remove_set(stale)
-        for entry in stale:
-            self.admission.on_evict(entry)
-        self.totals.invalidations += removed
-        return removed
+            stale = self.pool.stale_entries(table_cols)
+            removed = self.pool.remove_set(stale)
+            for entry in stale:
+                self.admission.on_evict(entry)
+            self.totals.invalidations += removed
+            return removed
 
     def recycle_reset(self) -> int:
         """Drop the whole pool (the paper's ``RecycleReset``)."""
-        removed = self.pool.clear()
-        for entry in removed:
-            self.admission.on_evict(entry)
-        self.totals.invalidations += len(removed)
-        return len(removed)
+        with self.lock:
+            removed = self.pool.clear()
+            for entry in removed:
+                self.admission.on_evict(entry)
+            self.totals.invalidations += len(removed)
+            return len(removed)
+
+    def check_invariants(self) -> None:
+        """Verify pool accounting from scratch (tests/debug; takes the lock)."""
+        with self.lock:
+            self.pool.check_invariants()
 
     # ------------------------------------------------------------------
     @property

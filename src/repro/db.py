@@ -10,12 +10,32 @@ This is the user-facing entry point of the library::
 Queries compile once into parametrised *templates* (literals factored out,
 §2.2) cached by normalised text, so repeated queries — even with different
 constants — re-execute the same plan and exercise the recycler.
+
+Concurrency: the facade is safe to share between threads.  Queries run
+under the shared side of a readers-writer lock, DML/DDL under the
+exclusive side (so a plan always sees a consistent snapshot of column
+versions), template caches are mutex-guarded, and the recycler core has
+its own pool lock.  :meth:`Database.session` opens a
+:class:`~repro.server.session.Session` with its own interpreter over the
+shared catalogue and recycle pool; :meth:`Database.execute_concurrent`
+drives a whole workload across many such sessions.
 """
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.admission import AdmissionPolicy, KeepAllAdmission
 from repro.core.eviction import EvictionPolicy, LruEviction
@@ -26,6 +46,7 @@ from repro.errors import CatalogError
 from repro.mal.interpreter import Interpreter, InvocationResult
 from repro.mal.program import MalProgram
 from repro.rel.builder import QueryBuilder
+from repro.server.locks import ReadWriteLock
 from repro.storage.catalog import Catalog, ColumnDef, TableDef
 
 
@@ -73,8 +94,15 @@ class Database:
             )
         self.interpreter = Interpreter(self.catalog, recycler=self.recycler,
                                        clock=clock)
+        self.clock = clock
         self._templates: Dict[str, MalProgram] = {}
         self._sql_cache: Dict[str, Any] = {}
+        #: Guards the template/SQL caches (compile races resolve first-wins).
+        self._cache_lock = threading.Lock()
+        #: Queries hold the read side, DML/DDL the write side (see module
+        #: docstring and :mod:`repro.server`).
+        self.rwlock = ReadWriteLock()
+        self._session_seq = 0
 
     # ------------------------------------------------------------------
     # DDL
@@ -88,44 +116,43 @@ class Database:
             [ColumnDef(c, dt) for c, dt in columns.items()],
             primary_key=primary_key,
         )
-        return self.catalog.create_table(tdef, data)
+        with self.rwlock.write_locked():
+            return self.catalog.create_table(tdef, data)
 
     def drop_table(self, name: str) -> None:
-        self.catalog.drop_table(name)
-        if self.recycler is not None:
-            # Dependent intermediates must go at once (§6.3 DDL handling).
-            table_cols = {
-                (name, c)
-                for e in self.recycler.pool.entries()
-                for (t, c, _v) in getattr(e.value, "sources", frozenset())
-                if t == name
-            }
-            stale = self.recycler.pool.stale_entries(table_cols)
-            self.recycler.pool.remove_set(stale)
+        with self.rwlock.write_locked():
+            self.catalog.drop_table(name)
+            if self.recycler is not None:
+                # Dependent intermediates must go at once (§6.3 DDL).
+                self.recycler.on_drop_table(name)
 
     def add_foreign_key(self, name: str, fk_table: str, fk_column: str,
                         pk_table: str, pk_column: str) -> None:
-        self.catalog.add_foreign_key(name, fk_table, fk_column,
-                                     pk_table, pk_column)
+        with self.rwlock.write_locked():
+            self.catalog.add_foreign_key(name, fk_table, fk_column,
+                                         pk_table, pk_column)
 
     # ------------------------------------------------------------------
     # DML (update synchronisation per §6)
     # ------------------------------------------------------------------
     def insert(self, table: str, rows: Mapping[str, Sequence]) -> None:
-        delta = self.catalog.insert(table, rows)
-        if self.recycler is not None:
-            synchronize(self.recycler, self.catalog, delta)
+        with self.rwlock.write_locked():
+            delta = self.catalog.insert(table, rows)
+            if self.recycler is not None:
+                synchronize(self.recycler, self.catalog, delta)
 
     def delete_oids(self, table: str, oids: Sequence[int]) -> None:
-        delta = self.catalog.delete_oids(table, oids)
-        if self.recycler is not None:
-            synchronize(self.recycler, self.catalog, delta)
+        with self.rwlock.write_locked():
+            delta = self.catalog.delete_oids(table, oids)
+            if self.recycler is not None:
+                synchronize(self.recycler, self.catalog, delta)
 
     def update_column(self, table: str, column: str, oids: Sequence[int],
                       values: Sequence) -> None:
-        delta = self.catalog.update_column(table, column, oids, values)
-        if self.recycler is not None:
-            synchronize(self.recycler, self.catalog, delta)
+        with self.rwlock.write_locked():
+            delta = self.catalog.update_column(table, column, oids, values)
+            if self.recycler is not None:
+                synchronize(self.recycler, self.catalog, delta)
 
     # ------------------------------------------------------------------
     # Templates
@@ -136,17 +163,20 @@ class Database:
 
     def register_template(self, program: MalProgram) -> MalProgram:
         """Put a compiled template in the query cache."""
-        self._templates[program.name] = program
+        with self._cache_lock:
+            self._templates[program.name] = program
         return program
 
     def template(self, name: str) -> MalProgram:
         try:
-            return self._templates[name]
+            with self._cache_lock:
+                return self._templates[name]
         except KeyError:
             raise CatalogError(f"unknown template {name!r}")
 
     def has_template(self, name: str) -> bool:
-        return name in self._templates
+        with self._cache_lock:
+            return name in self._templates
 
     def run_template(self, template: Union[str, MalProgram],
                      params: Optional[Dict[str, Any]] = None
@@ -155,27 +185,38 @@ class Database:
         program = (
             self.template(template) if isinstance(template, str) else template
         )
-        return self.interpreter.run(program, params)
+        with self.rwlock.read_locked():
+            return self.interpreter.run(program, params)
 
     # ------------------------------------------------------------------
     # SQL
     # ------------------------------------------------------------------
-    def execute(self, sql: str,
-                params: Optional[Dict[str, Any]] = None) -> InvocationResult:
-        """Compile (with template caching) and run a SQL query.
+    def compile_cached(self, sql: str) -> Tuple[Any, List[Any]]:
+        """Normalise and compile *sql* with first-wins template caching.
 
-        Literal constants are factored out into template parameters; the
-        same query shape with different constants reuses the compiled
-        template — and, through the recycler, its intermediates.
+        Returns the compiled query plus this instance's literal values;
+        sessions share the cache, so any session's compilation serves all.
         """
         from repro.sql.planner import compile_sql, normalize_sql
 
         key, literals = normalize_sql(sql)
-        compiled = self._sql_cache.get(key)
+        with self._cache_lock:
+            compiled = self._sql_cache.get(key)
         if compiled is None:
-            compiled = compile_sql(self, sql)
-            self._sql_cache[key] = compiled
-        # Bind this instance's literals to the template's parameters.
+            # Compilation reads the catalogue, so it needs the snapshot
+            # guarantee too — a concurrent DDL writer must not mutate
+            # table definitions mid-plan.
+            with self.rwlock.read_locked():
+                fresh = compile_sql(self, sql)
+            with self._cache_lock:
+                compiled = self._sql_cache.setdefault(key, fresh)
+        return compiled, literals
+
+    @staticmethod
+    def bind_literals(compiled, literals: List[Any],
+                      params: Optional[Dict[str, Any]] = None
+                      ) -> Dict[str, Any]:
+        """Bind one SQL instance's literals to its template's parameters."""
         bound = {
             name: literals[int(name[1:])]
             for name in compiled.program.params
@@ -188,7 +229,63 @@ class Database:
                 bound[name] = tuple(literals[idx:idx + len(default)])
         if params:
             bound.update(params)
-        return self.interpreter.run(compiled.program, bound)
+        return bound
+
+    def execute(self, sql: str,
+                params: Optional[Dict[str, Any]] = None) -> InvocationResult:
+        """Compile (with template caching) and run a SQL query.
+
+        Literal constants are factored out into template parameters; the
+        same query shape with different constants reuses the compiled
+        template — and, through the recycler, its intermediates.
+        """
+        compiled, literals = self.compile_cached(sql)
+        bound = self.bind_literals(compiled, literals, params)
+        with self.rwlock.read_locked():
+            return self.interpreter.run(compiled.program, bound)
+
+    # ------------------------------------------------------------------
+    # Sessions (multi-threaded execution; see repro.server)
+    # ------------------------------------------------------------------
+    def session(self, name: Optional[str] = None) -> "Session":  # noqa: F821
+        """Open a :class:`~repro.server.session.Session` on this database.
+
+        Each session owns its interpreter (and execution stacks) but
+        shares the catalogue, the template caches and the recycle pool.
+        """
+        from repro.server.session import Session
+
+        with self._cache_lock:
+            self._session_seq += 1
+            sid = self._session_seq
+        return Session(self, session_id=sid, name=name)
+
+    def execute_concurrent(
+        self,
+        items: Sequence[Tuple[Union[str, MalProgram], Optional[Dict[str, Any]]]],
+        n_sessions: int = 4,
+        *,
+        sql: bool = False,
+        collect_values: bool = True,
+    ) -> "ConcurrentResult":  # noqa: F821
+        """Run a workload of ``(template-or-SQL, params)`` over N sessions.
+
+        Items are dealt round-robin to *n_sessions* threads sharing this
+        database's recycle pool; with ``sql=True`` the first element of
+        each item is SQL text instead of a template name, and with
+        ``collect_values=False`` result values are dropped as they
+        complete (stress runs).  Returns a
+        :class:`~repro.server.manager.ConcurrentResult` with per-session
+        and aggregate statistics.
+        """
+        from repro.server.manager import SessionManager, WorkItem
+
+        manager = SessionManager(self)
+        work = [
+            WorkItem(query=q, params=p, sql=sql) for q, p in items
+        ]
+        return manager.run_concurrent(work, n_sessions=n_sessions,
+                                      collect_values=collect_values)
 
     # ------------------------------------------------------------------
     # Recycler control / introspection
@@ -196,7 +293,8 @@ class Database:
     def recycler_report(self) -> Optional[PoolReport]:
         if self.recycler is None:
             return None
-        return pool_report(self.recycler.pool)
+        with self.recycler.lock:
+            return pool_report(self.recycler.pool)
 
     def reset_recycler(self) -> int:
         """Empty the recycle pool (the paper's experiment preparation)."""

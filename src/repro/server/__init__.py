@@ -1,0 +1,44 @@
+"""Concurrent multi-session execution layer.
+
+The paper evaluates the recycler in a single interpreter loop; this
+package grows it into a server-shaped subsystem where many *sessions*
+share one recycle pool:
+
+* :class:`~repro.server.session.Session` — one client connection: its own
+  interpreter and execution stack over the shared catalogue and recycler,
+  plus per-session statistics.
+* :class:`~repro.server.manager.SessionManager` — opens/closes sessions
+  and drives multi-threaded workloads against the shared pool.
+* :class:`~repro.server.locks.ReadWriteLock` — the query/update
+  serialisation primitive of the concurrency contract.
+
+Locking protocol (coarse, two levels):
+
+1. **Database read-write lock** — every query invocation runs under the
+   shared (read) side; DML/DDL take the exclusive (write) side.  A query
+   therefore sees a consistent snapshot of column versions for its whole
+   plan, and update invalidation never interleaves with a running plan.
+2. **Recycler pool lock** — one re-entrant mutex inside
+   :class:`~repro.core.recycler.Recycler` guards all pool state
+   (lookup, admission, eviction, invalidation, statistics).  Operator
+   execution happens *outside* this lock: the interpreter only enters it
+   for the ``recycleEntry``/``recycleExit`` bookkeeping of Algorithm 1,
+   so concurrent sessions overlap their actual query work.
+"""
+
+from repro.server.locks import ReadWriteLock
+from repro.server.session import Session, SessionStats
+from repro.server.manager import (
+    ConcurrentResult,
+    SessionManager,
+    WorkItem,
+)
+
+__all__ = [
+    "ReadWriteLock",
+    "Session",
+    "SessionStats",
+    "SessionManager",
+    "ConcurrentResult",
+    "WorkItem",
+]

@@ -1,0 +1,120 @@
+"""Locking primitives for the multi-session execution layer.
+
+The server serialises queries against updates with a classic
+readers-writer lock: any number of query invocations (readers) may run
+concurrently, while DML/DDL (writers) get exclusive access.  Writers are
+preferred — a waiting writer blocks new readers — so a steady query
+stream cannot starve updates.
+
+The lock is re-entrant per thread for the *read* side (a session callback
+that issues a nested query must not deadlock), but deliberately not
+upgradeable: acquiring the write side while holding the read side is a
+programming error and raises immediately instead of deadlocking.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+from repro.errors import ReproError
+
+
+class LockProtocolError(ReproError):
+    """Misuse of the server locking protocol (e.g. read-to-write upgrade)."""
+
+
+class ReadWriteLock:
+    """A writer-preferring readers-writer lock with re-entrant read side."""
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer: int | None = None       # owning thread id
+        self._writer_depth = 0
+        self._writers_waiting = 0
+        self._read_depth = threading.local()  # per-thread read re-entrancy
+
+    # ------------------------------------------------------------------
+    def _depth(self) -> int:
+        return getattr(self._read_depth, "value", 0)
+
+    def acquire_read(self) -> None:
+        depth = self._depth()
+        if depth > 0:
+            self._read_depth.value = depth + 1
+            return
+        if self._writer == threading.get_ident():
+            # A writer issuing a nested read: granted without touching the
+            # reader count.  Remembered per-thread, because by release time
+            # the write side may already have been dropped.
+            self._read_depth.value = 1
+            self._read_depth.virtual = True
+            return
+        with self._cond:
+            while self._writer is not None or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        self._read_depth.value = 1
+        self._read_depth.virtual = False
+
+    def release_read(self) -> None:
+        depth = self._depth()
+        if depth == 0:
+            raise LockProtocolError("release_read without acquire_read")
+        self._read_depth.value = depth - 1
+        if depth > 1:
+            return
+        if getattr(self._read_depth, "virtual", False):
+            self._read_depth.virtual = False
+            return
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        me = threading.get_ident()
+        if self._writer == me:
+            self._writer_depth += 1
+            return
+        if self._depth() > 0:
+            raise LockProtocolError(
+                "cannot upgrade a read lock to a write lock"
+            )
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._readers or self._writer is not None:
+                    self._cond.wait()
+                self._writer = me
+                self._writer_depth = 1
+            finally:
+                self._writers_waiting -= 1
+
+    def release_write(self) -> None:
+        if self._writer != threading.get_ident():
+            raise LockProtocolError("release_write by non-owning thread")
+        self._writer_depth -= 1
+        if self._writer_depth:
+            return
+        with self._cond:
+            self._writer = None
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def read_locked(self):
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self):
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()

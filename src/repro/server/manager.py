@@ -1,0 +1,199 @@
+"""The session manager: concurrent workload execution over one pool.
+
+:class:`SessionManager` opens sessions on a shared
+:class:`~repro.db.Database` and drives a workload across N worker
+threads, one session per thread.  Work items are dealt round-robin, each
+thread executes its share in order, and all threads start together behind
+a barrier so the pool actually sees contention (admission races, shared
+hits, concurrent eviction) rather than accidental serial execution.
+
+Results come back in *workload order* regardless of which session ran
+them, so callers can compare them 1:1 against a serial reference run —
+the contract the differential and stress tests rely on.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Union
+
+from repro.mal.program import MalProgram
+from repro.server.session import Session, SessionStats
+
+if TYPE_CHECKING:
+    from repro.db import Database
+
+
+@dataclass
+class WorkItem:
+    """One unit of workload: a template name (or program, or SQL) + params."""
+
+    query: Union[str, MalProgram]
+    params: Optional[Dict[str, Any]] = None
+    sql: bool = False
+
+
+@dataclass
+class QueryOutcome:
+    """What one work item produced, tagged with the session that ran it."""
+
+    index: int
+    session: str
+    template: str
+    seconds: float
+    hits: int
+    marked: int
+    value: Any = None
+    error: Optional[BaseException] = None
+
+
+@dataclass
+class ConcurrentResult:
+    """Aggregate of one concurrent run: outcomes + per-session stats."""
+
+    outcomes: List[QueryOutcome]
+    sessions: Dict[str, SessionStats]
+    wall_seconds: float = 0.0
+
+    @property
+    def errors(self) -> List[QueryOutcome]:
+        return [o for o in self.outcomes if o.error is not None]
+
+    @property
+    def hits(self) -> int:
+        return sum(o.hits for o in self.outcomes if o.error is None)
+
+    @property
+    def marked(self) -> int:
+        return sum(o.marked for o in self.outcomes if o.error is None)
+
+    @property
+    def hit_ratio(self) -> float:
+        """Aggregate hits over potential hits across all sessions."""
+        return self.hits / self.marked if self.marked else 0.0
+
+    def values(self) -> List[Any]:
+        """Result values in workload order (None where an item failed)."""
+        return [o.value for o in self.outcomes]
+
+    def session_hit_ratios(self) -> Dict[str, float]:
+        return {name: s.hit_ratio for name, s in self.sessions.items()}
+
+
+class SessionManager:
+    """Opens sessions on one database and runs workloads across them."""
+
+    def __init__(self, db: "Database"):
+        self.db = db
+        self.sessions: List[Session] = []
+
+    def open_session(self, name: Optional[str] = None) -> Session:
+        session = self.db.session(name)
+        self.sessions.append(session)
+        return session
+
+    def close_all(self) -> None:
+        for s in self.sessions:
+            s.close()
+        self.sessions.clear()
+
+    # ------------------------------------------------------------------
+    def run_concurrent(
+        self,
+        work: Sequence[WorkItem],
+        n_sessions: int = 4,
+        *,
+        collect_values: bool = True,
+        barrier_timeout: float = 30.0,
+    ) -> ConcurrentResult:
+        """Execute *work* across *n_sessions* threads sharing the pool.
+
+        Item *i* goes to session ``i % n_sessions``; each session runs its
+        items in workload order.  Exceptions are captured per item (they
+        mark the outcome, never kill the run).  With ``collect_values``
+        off, result values are dropped as they complete — for stress runs
+        whose results would not fit in memory.
+        """
+        n_sessions = max(1, min(n_sessions, len(work) or 1))
+        outcomes: List[Optional[QueryOutcome]] = [None] * len(work)
+        workers = [
+            self.open_session(f"worker-{i}") for i in range(n_sessions)
+        ]
+        barrier = threading.Barrier(n_sessions)
+
+        def drive(worker_idx: int) -> None:
+            session = workers[worker_idx]
+            try:
+                barrier.wait(timeout=barrier_timeout)
+            except threading.BrokenBarrierError as exc:
+                # A worker failed to start: surface every item this worker
+                # owned as an error instead of silently dropping it.
+                for i in range(worker_idx, len(work), n_sessions):
+                    outcomes[i] = QueryOutcome(
+                        index=i, session=session.name,
+                        template=str(work[i].query)[:60], seconds=0.0,
+                        hits=0, marked=0, error=exc,
+                    )
+                return
+            for i in range(worker_idx, len(work), n_sessions):
+                item = work[i]
+                t0 = time.perf_counter()
+                try:
+                    if item.sql:
+                        r = session.execute(item.query, item.params)
+                        template = "sql"
+                    else:
+                        r = session.run_template(item.query, item.params)
+                        template = (
+                            item.query if isinstance(item.query, str)
+                            else item.query.name
+                        )
+                    outcomes[i] = QueryOutcome(
+                        index=i,
+                        session=session.name,
+                        template=template,
+                        seconds=time.perf_counter() - t0,
+                        hits=r.stats.hits,
+                        marked=r.stats.n_marked,
+                        value=r.value if collect_values else None,
+                    )
+                except Exception as exc:
+                    outcomes[i] = QueryOutcome(
+                        index=i,
+                        session=session.name,
+                        template=str(item.query)[:60],
+                        seconds=time.perf_counter() - t0,
+                        hits=0,
+                        marked=0,
+                        error=exc,
+                    )
+
+        threads = [
+            threading.Thread(target=drive, args=(i,), name=workers[i].name)
+            for i in range(n_sessions)
+        ]
+        started = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - started
+
+        # Every slot must be accounted for — a worker dying outside the
+        # per-item handler must not read as a clean (shorter) run.
+        for i, outcome in enumerate(outcomes):
+            if outcome is None:
+                outcomes[i] = QueryOutcome(
+                    index=i, session="<lost>",
+                    template=str(work[i].query)[:60], seconds=0.0,
+                    hits=0, marked=0,
+                    error=RuntimeError("worker thread died before this item"),
+                )
+
+        return ConcurrentResult(
+            outcomes=list(outcomes),
+            sessions={s.name: s.stats for s in workers},
+            wall_seconds=wall,
+        )

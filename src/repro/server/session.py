@@ -1,0 +1,142 @@
+"""Sessions: per-client interpreters over one shared recycle pool.
+
+A :class:`Session` is what one connected client gets in a multi-session
+deployment: its own :class:`~repro.mal.interpreter.Interpreter` (hence its
+own execution stacks and invocation state) over the *shared* catalogue,
+template caches and recycler of the owning
+:class:`~repro.db.Database`.  Cross-session reuse is the whole point: an
+intermediate admitted by one session's invocation is a *global* hit when
+any other session matches it (§3.3's local/global distinction).
+
+Every query a session runs takes the database's read lock, so updates
+(which take the write side) never interleave with a running plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
+
+from repro.mal.interpreter import (
+    ExecutionStats,
+    Interpreter,
+    InvocationResult,
+)
+from repro.mal.program import MalProgram
+
+if TYPE_CHECKING:
+    from repro.db import Database
+
+
+@dataclass
+class SessionStats:
+    """Cumulative per-session execution statistics."""
+
+    queries: int = 0
+    errors: int = 0
+    wall_seconds: float = 0.0
+    marked: int = 0
+    hits: int = 0
+    hits_exact: int = 0
+    hits_subsumed: int = 0
+    hits_local: int = 0
+    hits_global: int = 0
+    saved_time: float = 0.0
+    admitted_entries: int = 0
+    evicted_entries: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over potential hits, aggregated over the session's life."""
+        return self.hits / self.marked if self.marked else 0.0
+
+    def absorb(self, stats: ExecutionStats) -> None:
+        """Fold one invocation's statistics into the session totals."""
+        self.queries += 1
+        self.wall_seconds += stats.wall_time
+        self.marked += stats.n_marked
+        self.hits += stats.hits
+        self.hits_exact += stats.hits_exact
+        self.hits_subsumed += stats.hits_subsumed
+        self.hits_local += stats.hits_local
+        self.hits_global += stats.hits_global
+        self.saved_time += stats.saved_time
+        self.admitted_entries += stats.admitted_entries
+        self.evicted_entries += stats.evicted_entries
+
+
+class Session:
+    """One client session: private interpreter, shared pool.
+
+    Obtain via :meth:`repro.db.Database.session`; usable directly from
+    one thread at a time (sessions are cheap — open one per thread), and
+    as a context manager::
+
+        with db.session() as s:
+            r = s.execute("select count(*) from t where x > 10")
+    """
+
+    def __init__(self, db: "Database", session_id: int,
+                 name: Optional[str] = None):
+        self.db = db
+        self.id = session_id
+        self.name = name or f"session-{session_id}"
+        self.interpreter = Interpreter(
+            db.catalog, recycler=db.recycler, clock=db.clock
+        )
+        self.stats = SessionStats()
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    def run_template(self, template: Union[str, MalProgram],
+                     params: Optional[Dict[str, Any]] = None
+                     ) -> InvocationResult:
+        """Run a registered (or given) template in this session."""
+        self._check_open()
+        program = (
+            self.db.template(template)
+            if isinstance(template, str) else template
+        )
+        try:
+            with self.db.rwlock.read_locked():
+                result = self.interpreter.run(program, params)
+        except Exception:
+            self.stats.errors += 1
+            raise
+        self.stats.absorb(result.stats)
+        return result
+
+    def execute(self, sql: str,
+                params: Optional[Dict[str, Any]] = None) -> InvocationResult:
+        """Compile (against the shared template cache) and run SQL."""
+        self._check_open()
+        compiled, literals = self.db.compile_cached(sql)
+        bound = self.db.bind_literals(compiled, literals, params)
+        try:
+            with self.db.rwlock.read_locked():
+                result = self.interpreter.run(compiled.program, bound)
+        except Exception:
+            self.stats.errors += 1
+            raise
+        self.stats.absorb(result.stats)
+        return result
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self.closed = True
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise RuntimeError(f"{self.name} is closed")
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"Session({self.name}, queries={self.stats.queries}, "
+            f"hits={self.stats.hits})"
+        )

@@ -8,6 +8,7 @@ are rebuilt lazily whenever either side of the constraint changes version.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -57,6 +58,9 @@ class Catalog:
         self._fkeys_by_pair: Dict[Tuple[str, str], ForeignKey] = {}
         # Join-index cache: name -> (fk_version, pk_version, BAT)
         self._idx_cache: Dict[str, Tuple[int, int, BAT]] = {}
+        # Same token-splitting hazard as Table._bind_lock: two concurrent
+        # readers must not both rebuild the index with fresh tokens.
+        self._idx_lock = threading.RLock()
         self.deltas = DeltaStore()
 
     # ------------------------------------------------------------------
@@ -149,6 +153,11 @@ class Catalog:
             )
         fk_tab = self.table(fk.fk_table)
         pk_tab = self.table(fk.pk_table)
+        with self._idx_lock:
+            return self._bind_idx_locked(fk, fk_tab, pk_tab)
+
+    def _bind_idx_locked(self, fk: ForeignKey, fk_tab: Table,
+                         pk_tab: Table) -> BAT:
         fk_ver = fk_tab.versions[fk.fk_column]
         pk_ver = pk_tab.versions[fk.pk_column]
         cached = self._idx_cache.get(fk.name)

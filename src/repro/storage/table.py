@@ -13,6 +13,7 @@ invalidate only the columns directly affected."
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -51,6 +52,10 @@ class Table:
         # re-bind after an update yields a fresh token (see bat.BAT docs).
         self._bind_cache: Dict[Tuple[str, int], BAT] = {}
         self._sorted_cache: Dict[Tuple[str, int], bool] = {}
+        # Concurrent readers racing the bind miss path would otherwise
+        # mint two BATs with distinct lineage tokens for the same column
+        # version — splitting their signature chains and killing reuse.
+        self._bind_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     @property
@@ -73,10 +78,11 @@ class Table:
             raise StorageError(f"table {self.name} has no column {column!r}")
 
     def column_sorted(self, column: str) -> bool:
-        key = (column, self.versions[column])
-        if key not in self._sorted_cache:
-            self._sorted_cache[key] = _is_sorted(self._columns[column])
-        return self._sorted_cache[key]
+        with self._bind_lock:
+            key = (column, self.versions[column])
+            if key not in self._sorted_cache:
+                self._sorted_cache[key] = _is_sorted(self._columns[column])
+            return self._sorted_cache[key]
 
     # ------------------------------------------------------------------
     # Binding (sql.bind target)
@@ -89,18 +95,19 @@ class Table:
         """
         if column not in self._columns:
             raise StorageError(f"table {self.name} has no column {column!r}")
-        key = (column, self.versions[column])
-        bat = self._bind_cache.get(key)
-        if bat is None:
-            source = (self.name, column, self.versions[column])
-            bat = BAT.persistent(
-                f"{self.name}.{column}",
-                self._columns[column],
-                sources=frozenset({source}),
-                tail_sorted=self.column_sorted(column),
-            )
-            self._bind_cache[key] = bat
-        return bat
+        with self._bind_lock:
+            key = (column, self.versions[column])
+            bat = self._bind_cache.get(key)
+            if bat is None:
+                source = (self.name, column, self.versions[column])
+                bat = BAT.persistent(
+                    f"{self.name}.{column}",
+                    self._columns[column],
+                    sources=frozenset({source}),
+                    tail_sorted=self.column_sorted(column),
+                )
+                self._bind_cache[key] = bat
+            return bat
 
     def source_key(self, column: str) -> Tuple[str, str, int]:
         """The invalidation granule ``(table, column, version)`` for *column*."""

@@ -14,6 +14,7 @@ from repro.workloads.skyserver.workload import (
     QueryInstance,
     SkyQueryLog,
     build_sky_templates,
+    run_log_concurrent,
 )
 from repro.workloads.skyserver.microbench import (
     combined_subsumption_batch,
@@ -25,6 +26,7 @@ __all__ = [
     "QueryInstance",
     "SkyQueryLog",
     "build_sky_templates",
+    "run_log_concurrent",
     "combined_subsumption_batch",
     "build_range_template",
 ]

@@ -168,3 +168,19 @@ class SkyQueryLog:
             else:
                 out.append(self._point())
         return out
+
+
+def run_log_concurrent(db: Database, log: SkyQueryLog, n: int,
+                       n_sessions: int = 8, collect_values: bool = False):
+    """Replay *n* sampled log entries across concurrent sessions.
+
+    SkyServer is the paper's web workload — many independent portal users
+    hitting one server — so the multi-session mode is its natural shape:
+    each session plays a slice of the shared log against the shared pool.
+    Returns a :class:`~repro.server.manager.ConcurrentResult`.
+    """
+    return db.execute_concurrent(
+        [(q.template, q.params) for q in log.sample(n)],
+        n_sessions=n_sessions,
+        collect_values=collect_values,
+    )

@@ -10,6 +10,11 @@ from repro.workloads.tpch.generator import generate_tpch, load_tpch
 from repro.workloads.tpch.queries import TEMPLATE_BUILDERS, build_templates
 from repro.workloads.tpch.params import ParamGenerator
 from repro.workloads.tpch.refresh import RefreshStream
+from repro.workloads.tpch.concurrent import (
+    MIXED_TEMPLATES,
+    mixed_instances,
+    run_mixed_concurrent,
+)
 
 __all__ = [
     "generate_tpch",
@@ -18,4 +23,7 @@ __all__ = [
     "build_templates",
     "ParamGenerator",
     "RefreshStream",
+    "MIXED_TEMPLATES",
+    "mixed_instances",
+    "run_mixed_concurrent",
 ]

@@ -1,0 +1,54 @@
+"""Concurrent TPC-H batch mode: the §7.2 mixed workload over N sessions.
+
+The paper runs its mixed batch through one interpreter loop; here the
+same shuffled instance stream is dealt round-robin to concurrent sessions
+sharing one recycle pool, which turns the paper's *local* reuse into
+cross-session *global* reuse: an intermediate admitted by one session is
+hit by every other session running an overlapping template.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.db import Database
+from repro.server.manager import ConcurrentResult
+from repro.workloads.tpch.params import ParamGenerator
+
+#: The paper's mixed workload templates (§7.2) — large pairwise overlaps.
+MIXED_TEMPLATES = ("q04", "q07", "q08", "q11", "q12", "q16", "q18", "q19",
+                   "q21", "q22")
+
+
+def mixed_instances(n_instances_each: int = 10, seed: int = 77,
+                    queries: Sequence[str] = MIXED_TEMPLATES,
+                    sf: float = 0.01
+                    ) -> List[Tuple[str, Dict[str, Any]]]:
+    """The shuffled ``(template, params)`` stream of the mixed batch."""
+    pg = ParamGenerator(seed=seed, sf=sf)
+    items: List[Tuple[str, Dict[str, Any]]] = []
+    for name in queries:
+        for _ in range(n_instances_each):
+            items.append((name, pg.params_for(name)))
+    rng = np.random.default_rng(seed)
+    rng.shuffle(items)
+    return items
+
+
+def run_mixed_concurrent(db: Database, n_sessions: int = 8,
+                         n_instances_each: int = 10, seed: int = 77,
+                         queries: Sequence[str] = MIXED_TEMPLATES,
+                         sf: float = 0.01,
+                         collect_values: bool = False) -> ConcurrentResult:
+    """Drive the mixed workload across *n_sessions* concurrent sessions.
+
+    *db* must already be loaded with templates built (see
+    :func:`repro.bench.harness.fresh_tpch_db`).
+    """
+    return db.execute_concurrent(
+        mixed_instances(n_instances_each, seed, queries, sf),
+        n_sessions=n_sessions,
+        collect_values=collect_values,
+    )

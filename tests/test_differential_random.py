@@ -1,0 +1,214 @@
+"""Randomized differential testing: recycler-on ≡ recycler-off.
+
+A seeded generator produces random select/join/group-by queries over
+randomly generated tables and runs every query against two databases
+loaded with identical data — one with the recycler (in several
+configurations, including bounded pools that force eviction), one naive.
+Results must match exactly (floats to rounding).  Interleaved random
+inserts/deletes/updates — applied identically to both databases between
+query rounds — exercise §6 invalidation: a stale intermediate surviving
+in the pool would surface as a wrong result here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Database
+
+N_FACT = 4000
+N_DIM = 40
+STRINGS = ["AA", "AB", "AC", "BA", "BB", "CA", "CB", "CC"]
+CATS = ["red", "green", "blue", "gray"]
+
+
+def _fact_data(rng: np.random.Generator, n: int = N_FACT):
+    return {
+        "k": rng.integers(0, N_DIM, n),
+        "a": rng.integers(0, 1000, n),
+        "v": np.round(rng.random(n) * 100, 6),
+        "s": rng.choice(STRINGS, n),
+    }
+
+
+def _dim_data(rng: np.random.Generator):
+    return {
+        "d_key": np.arange(N_DIM),
+        "d_cat": rng.choice(CATS, N_DIM),
+        "d_w": np.round(rng.random(N_DIM) * 10, 6),
+    }
+
+
+def build_pair(seed: int, **recycler_kwargs):
+    """Two databases with identical random data: recycled and naive."""
+    pair = []
+    for kwargs in (dict(recycle=True, **recycler_kwargs),
+                   dict(recycle=False)):
+        rng = np.random.default_rng(seed)
+        db = Database(**kwargs)
+        db.create_table(
+            "fact",
+            {"k": "int64", "a": "int64", "v": "float64", "s": "U4"},
+            _fact_data(rng),
+        )
+        db.create_table(
+            "dim",
+            {"d_key": "int64", "d_cat": "U8", "d_w": "float64"},
+            _dim_data(rng),
+            primary_key="d_key",
+        )
+        db.add_foreign_key("fk_kd", "fact", "k", "dim", "d_key")
+        pair.append(db)
+    return pair[0], pair[1]
+
+
+# ---------------------------------------------------------------------------
+# Query generation: literals are drawn from small pools so the stream
+# produces exact repeats (pool hits) and nested ranges (subsumption).
+# ---------------------------------------------------------------------------
+def gen_query(rng: np.random.Generator) -> str:
+    lo = int(rng.choice([0, 100, 200, 300, 400, 500]))
+    width = int(rng.choice([50, 150, 300, 600]))
+    hi = lo + width
+    shape = int(rng.integers(0, 7))
+    if shape == 0:
+        return f"select count(*) from fact where a >= {lo} and a < {hi}"
+    if shape == 1:
+        return (
+            f"select k, count(*) as n, sum(v) as t from fact "
+            f"where a between {lo} and {hi} group by k order by k"
+        )
+    if shape == 2:
+        return (
+            f"select d_cat, count(*) as n from fact, dim "
+            f"where k = d_key and a >= {lo} group by d_cat order by d_cat"
+        )
+    if shape == 3:
+        prefix = str(rng.choice(["A", "B", "AA", "C"]))
+        return f"select count(*) from fact where s like '{prefix}%'"
+    if shape == 4:
+        ks = sorted(rng.choice(N_DIM, size=3, replace=False).tolist())
+        in_list = ", ".join(str(k) for k in ks)
+        return (
+            f"select count(*), sum(a) from fact where k in ({in_list})"
+        )
+    if shape == 5:
+        return (
+            f"select distinct s from fact where a < {hi} order by s"
+        )
+    return (
+        f"select k, min(v), max(v) from fact "
+        f"where a >= {lo} and a < {hi} and v >= 25.0 "
+        f"group by k order by k"
+    )
+
+
+def gen_update(rng: np.random.Generator, db_on: Database, db_off: Database):
+    """One random DML statement, applied identically to both databases."""
+    kind = int(rng.integers(0, 3))
+    if kind == 0:
+        n = int(rng.integers(1, 50))
+        rows = {
+            "k": rng.integers(0, N_DIM, n),
+            "a": rng.integers(0, 1000, n),
+            "v": np.round(rng.random(n) * 100, 6),
+            "s": rng.choice(STRINGS, n),
+        }
+        db_on.insert("fact", {c: v.copy() for c, v in rows.items()})
+        db_off.insert("fact", {c: v.copy() for c, v in rows.items()})
+    elif kind == 1:
+        nrows = db_on.catalog.table("fact").nrows
+        oids = np.unique(rng.integers(0, nrows, int(rng.integers(1, 30))))
+        db_on.delete_oids("fact", oids.copy())
+        db_off.delete_oids("fact", oids.copy())
+    else:
+        nrows = db_on.catalog.table("fact").nrows
+        oids = np.unique(rng.integers(0, nrows, int(rng.integers(1, 40))))
+        values = np.round(rng.random(len(oids)) * 100, 6)
+        db_on.update_column("fact", "v", oids.copy(), values.copy())
+        db_off.update_column("fact", "v", oids.copy(), values.copy())
+
+
+def assert_same_result(sql: str, got, expected):
+    """Row-for-row equality; floats compared to rounding error."""
+    grows, erows = got.rows(), expected.rows()
+    assert len(grows) == len(erows), (
+        f"{sql}: {len(grows)} rows vs {len(erows)}"
+    )
+    assert got.names == expected.names
+    for g, e in zip(grows, erows):
+        for gv, ev in zip(g, e):
+            if isinstance(ev, float):
+                assert gv == pytest.approx(ev, rel=1e-9, abs=1e-9), sql
+            else:
+                assert gv == ev, sql
+
+
+CONFIGS = [
+    dict(),
+    dict(subsumption=False, combined_subsumption=False),
+    dict(max_entries=24),
+    dict(max_bytes=200_000),
+    dict(propagate_selects=True),
+]
+
+
+@pytest.mark.parametrize("config", CONFIGS,
+                         ids=["default", "nosub", "entries24",
+                              "bytes200k", "propagate"])
+def test_random_queries_differential(config):
+    """300 random queries, no updates: recycled results never differ."""
+    db_on, db_off = build_pair(seed=7, **config)
+    rng = np.random.default_rng(101)
+    for _ in range(300):
+        sql = gen_query(rng)
+        assert_same_result(sql, db_on.execute(sql).value,
+                           db_off.execute(sql).value)
+    # The run must actually have exercised the pool to mean anything.
+    assert db_on.recycler.totals.exact_hits > 0
+    db_on.recycler.check_invariants()
+
+
+@pytest.mark.parametrize("config", CONFIGS,
+                         ids=["default", "nosub", "entries24",
+                              "bytes200k", "propagate"])
+def test_interleaved_updates_differential(config):
+    """Rounds of queries with random DML in between: invalidation holds."""
+    db_on, db_off = build_pair(seed=13, **config)
+    rng = np.random.default_rng(202)
+    for _round in range(8):
+        for _ in range(25):
+            sql = gen_query(rng)
+            assert_same_result(sql, db_on.execute(sql).value,
+                               db_off.execute(sql).value)
+        for _ in range(int(rng.integers(1, 4))):
+            gen_update(rng, db_on, db_off)
+        db_on.recycler.check_invariants()
+    assert db_on.recycler.totals.invocations > 0
+
+
+def test_drop_table_invalidates_differentially():
+    """DDL: dropping and recreating a table must not leak stale entries."""
+    db_on, db_off = build_pair(seed=23)
+    rng = np.random.default_rng(303)
+    for _ in range(30):
+        sql = gen_query(rng)
+        assert_same_result(sql, db_on.execute(sql).value,
+                           db_off.execute(sql).value)
+    new_rng = np.random.default_rng(99)
+    data = _fact_data(new_rng, 1000)
+    for db in (db_on, db_off):
+        db.drop_table("fact")
+        db.create_table(
+            "fact",
+            {"k": "int64", "a": "int64", "v": "float64", "s": "U4"},
+            {c: v.copy() for c, v in data.items()},
+        )
+        db.add_foreign_key("fk_kd", "fact", "k", "dim", "d_key")
+    db_on.recycler.check_invariants()
+    for _ in range(30):
+        sql = gen_query(rng)
+        assert_same_result(sql, db_on.execute(sql).value,
+                           db_off.execute(sql).value)
+    db_on.recycler.check_invariants()

@@ -1,0 +1,268 @@
+"""Property tests for §5 subsumption against brute-force references.
+
+For randomly generated ranges (mixed open/closed bounds, unbounded ends,
+empty and point ranges) the algebraic predicates — ``covers``,
+``connects``, ``merge``, ``find_combined_cover`` +
+``split_target_into_segments``, ``like_subsumes`` — must agree with a
+brute-force membership filter over a dense sample grid.  Bounds are drawn
+from integers, and the grid includes half-points, so interval membership
+can only change at sampled values: agreement on the grid is agreement
+everywhere.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.core.subsumption import (
+    Range,
+    connects,
+    covers,
+    find_combined_cover,
+    like_subsumes,
+    merge,
+    split_target_into_segments,
+)
+
+#: Every point where membership of a [0, 10]-integer-bounded range can
+#: change, plus the surrounding open country.
+GRID = [x / 2 for x in range(-4, 26)]
+
+
+def contains(rng: Range, x) -> bool:
+    """Brute-force range membership."""
+    if rng.lo is not None:
+        if x < rng.lo or (x == rng.lo and not rng.lo_incl):
+            return False
+    if rng.hi is not None:
+        if x > rng.hi or (x == rng.hi and not rng.hi_incl):
+            return False
+    return True
+
+
+def random_range(rng: np.random.Generator) -> Range:
+    lo = None if rng.random() < 0.15 else int(rng.integers(0, 11))
+    hi = None if rng.random() < 0.15 else int(rng.integers(0, 11))
+    return Range(lo, hi, bool(rng.random() < 0.5), bool(rng.random() < 0.5))
+
+
+def members(rng_: Range) -> set:
+    return {x for x in GRID if contains(rng_, x)}
+
+
+# ---------------------------------------------------------------------------
+# covers / connects / merge
+# ---------------------------------------------------------------------------
+def test_covers_equals_brute_force_subset():
+    rng = np.random.default_rng(4)
+    checked_both_ways = 0
+    for _ in range(3000):
+        outer, inner = random_range(rng), random_range(rng)
+        subset = members(inner) <= members(outer)
+        if covers(outer, inner):
+            assert subset, (outer, inner)
+        elif subset and members(inner):
+            # covers() may only miss subsets through *empty* inners (it
+            # reasons on bounds, not emptiness) — a false negative there
+            # costs a recomputation, never a wrong result.
+            assert not members(inner), (outer, inner)
+        else:
+            checked_both_ways += 1
+    assert checked_both_ways > 0
+
+
+def test_covers_empty_inner_edge_cases():
+    # Empty inner ranges (lo > hi, or open point): covers() answers from
+    # bounds only; both answers are safe, but it must not crash.
+    empty = Range(5, 3, True, True)
+    open_point = Range(4, 4, True, False)
+    wide = Range(0, 10, True, True)
+    assert not members(empty) and not members(open_point)
+    covers(wide, empty)
+    covers(wide, open_point)
+    assert covers(wide, Range(4, 4, True, True))
+
+
+def test_point_and_unbounded_covers():
+    everything = Range(None, None)
+    rng = np.random.default_rng(11)
+    for _ in range(200):
+        r = random_range(rng)
+        assert covers(everything, r)
+        if r.lo is not None and contains(r, r.lo):
+            assert covers(r, Range.point(r.lo))
+
+
+def test_connects_and_merge_against_brute_force():
+    rng = np.random.default_rng(7)
+    for _ in range(2000):
+        a, b = random_range(rng), random_range(rng)
+        ma, mb = members(a), members(b)
+        if not ma or not mb:
+            continue
+        union = ma | mb
+        contiguous = all(
+            x in union for x in GRID if min(union) <= x <= max(union)
+        )
+        if connects(a, b):
+            m = merge(a, b)
+            # The merged interval must hold exactly the union when that
+            # union is one interval (which connectivity guarantees for
+            # non-empty, grid-bounded ranges).
+            assert contiguous
+            assert members(m) == union, (a, b, m)
+        else:
+            # Separated ranges have a gap on the grid.
+            assert not contiguous or ma <= mb or mb <= ma, (a, b)
+
+
+# ---------------------------------------------------------------------------
+# Combined subsumption (Algorithm 2)
+# ---------------------------------------------------------------------------
+@dataclass
+class _FakeEntry:
+    """The slice of RecycleEntry that Algorithm 2 reads."""
+
+    tuples: int
+
+
+def pieces_from(rng: np.random.Generator, n: int):
+    return [
+        (r, _FakeEntry(tuples=int(rng.integers(1, 100))))
+        for r in (random_range(rng) for _ in range(n))
+    ]
+
+
+def test_combined_cover_is_correct_cover():
+    """Whenever Algorithm 2 picks pieces, the split segments reproduce the
+    target exactly: every target point in exactly one segment, every
+    segment inside both its piece and the target."""
+    rng = np.random.default_rng(15)
+    found = 0
+    for _ in range(1500):
+        target = random_range(rng)
+        if not members(target):
+            continue
+        pieces = pieces_from(rng, int(rng.integers(1, 7)))
+        chosen = find_combined_cover(target, pieces, base_cost=1e9)
+        if chosen is None:
+            continue
+        found += 1
+        segments = split_target_into_segments(target, chosen)
+        for x in GRID:
+            in_target = contains(target, x)
+            holders = [seg for seg, _e in segments if contains(seg, x)]
+            assert len(holders) == (1 if in_target else 0), (
+                target, chosen, segments, x
+            )
+        for seg, entry in segments:
+            piece_rng = next(r for r, e in chosen if e is entry)
+            assert members(seg) <= members(piece_rng), (seg, piece_rng)
+            assert members(seg) <= members(target), (seg, target)
+    assert found > 50  # the property must actually have been exercised
+
+
+def test_combined_cover_respects_cost_bound():
+    """A cover is only returned when its piece cost beats the base cost."""
+    rng = np.random.default_rng(19)
+    for _ in range(500):
+        target = random_range(rng)
+        pieces = pieces_from(rng, 5)
+        base = float(rng.integers(1, 150))
+        chosen = find_combined_cover(target, pieces, base_cost=base)
+        if chosen is not None:
+            assert sum(e.tuples for _r, e in chosen) < base
+
+
+def test_combined_cover_empty_and_disconnected():
+    assert find_combined_cover(Range(0, 10), [], base_cost=1e9) is None
+    # Two pieces with a gap over the middle of the target: no cover.
+    pieces = [
+        (Range(0, 3), _FakeEntry(5)),
+        (Range(7, 10), _FakeEntry(5)),
+    ]
+    assert find_combined_cover(Range(0, 10), pieces, base_cost=1e9) is None
+
+
+def test_combined_cover_prefers_cheap_pieces():
+    target = Range(0, 10)
+    cheap = (Range(0, 6), _FakeEntry(5))
+    cheap2 = (Range(5, 10), _FakeEntry(5))
+    dear = (Range(0, 10, False, True), _FakeEntry(500))
+    chosen = find_combined_cover(target, [dear, cheap, cheap2],
+                                 base_cost=1e9)
+    assert chosen is not None
+    assert {id(e) for _r, e in chosen} == {id(cheap[1]), id(cheap2[1])}
+
+
+# ---------------------------------------------------------------------------
+# LIKE subsumption
+# ---------------------------------------------------------------------------
+def _like_match(pattern: str, s: str) -> bool:
+    translated = pattern.replace("%", "*").replace("_", "?")
+    return fnmatch.fnmatchcase(s, translated)
+
+
+def _instances(rng: np.random.Generator, pattern: str, alphabet="abc"):
+    """Random strings drawn from L(pattern): wildcards filled randomly."""
+    out = []
+    for _ in range(8):
+        s = []
+        for ch in pattern:
+            if ch == "%":
+                s.append("".join(
+                    rng.choice(list(alphabet))
+                    for _ in range(int(rng.integers(0, 4)))
+                ))
+            elif ch == "_":
+                s.append(str(rng.choice(list(alphabet))))
+            else:
+                s.append(ch)
+        out.append("".join(s))
+    return out
+
+
+def random_pattern(rng: np.random.Generator) -> str:
+    parts = []
+    for _ in range(int(rng.integers(1, 4))):
+        kind = int(rng.integers(0, 3))
+        if kind == 0:
+            parts.append("%")
+        elif kind == 1:
+            parts.append("_")
+        else:
+            parts.append("".join(
+                rng.choice(list("abc"))
+                for _ in range(int(rng.integers(1, 3)))
+            ))
+    return "".join(parts)
+
+
+def test_like_subsumes_soundness():
+    """like_subsumes(g, s) must imply L(s) ⊆ L(g) — checked on samples."""
+    rng = np.random.default_rng(23)
+    positives = 0
+    for _ in range(2000):
+        general, specific = random_pattern(rng), random_pattern(rng)
+        if not like_subsumes(general, specific):
+            continue
+        positives += 1
+        for s in _instances(rng, specific):
+            assert _like_match(specific, s)
+            assert _like_match(general, s), (general, specific, s)
+    assert positives > 20
+
+
+def test_like_prefix_cases():
+    assert like_subsumes("ab%", "abc%")
+    assert like_subsumes("ab%", "ab")
+    assert not like_subsumes("ab%", "a%")
+    assert like_subsumes("%", "a_b%")
+    assert like_subsumes("%ab", "xab")
+    assert not like_subsumes("%ab", "ab%")
+    assert like_subsumes("%ab%", "xaby")
+    assert not like_subsumes("ab", "ab%")
