@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Check that intra-repo markdown links resolve.  Stdlib only.
+
+Scans every tracked ``*.md`` file for inline links ``[text](target)``
+and verifies that relative targets exist on disk, and that ``#anchor``
+fragments (on local markdown targets and self-references) match a
+heading in the target file using GitHub's slug rules (lowercase, spaces
+to dashes, punctuation dropped).
+
+External links (``http://``, ``https://``, ``mailto:``) are ignored —
+CI must not depend on the network.
+
+Exit status: 0 when every link resolves, 1 otherwise (each problem is
+printed as ``file:line: message``).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Inline markdown link — [text](target).  Deliberately simple: no
+#: support for nested brackets or reference-style links, which this
+#: repo's docs do not use.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def find_markdown_files(root: str) -> list:
+    out = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if not d.startswith(".") and d not in ("__pycache__", "node_modules")
+        ]
+        for name in filenames:
+            if name.endswith(".md"):
+                out.append(os.path.join(dirpath, name))
+    return sorted(out)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, punctuation out, spaces to dashes."""
+    heading = re.sub(r"[`*_\[\]()]", "", heading).strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def heading_slugs(path: str) -> set:
+    slugs = set()
+    counts = {}
+    with open(path, encoding="utf-8") as f:
+        in_code = False
+        for line in f:
+            if line.lstrip().startswith("```"):
+                in_code = not in_code
+                continue
+            if in_code:
+                continue
+            m = HEADING_RE.match(line)
+            if m:
+                slug = github_slug(m.group(1))
+                n = counts.get(slug, 0)
+                counts[slug] = n + 1
+                slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def iter_links(path: str):
+    with open(path, encoding="utf-8") as f:
+        in_code = False
+        for lineno, line in enumerate(f, 1):
+            if line.lstrip().startswith("```"):
+                in_code = not in_code
+                continue
+            if in_code:
+                continue
+            for m in LINK_RE.finditer(line):
+                yield lineno, m.group(1)
+
+
+def check_file(md_path: str) -> list:
+    problems = []
+    base = os.path.dirname(md_path)
+    for lineno, target in iter_links(md_path):
+        if target.startswith(EXTERNAL) or target.startswith("<"):
+            continue
+        path_part, _, fragment = target.partition("#")
+        if path_part:
+            resolved = os.path.normpath(os.path.join(base, path_part))
+            if not os.path.exists(resolved):
+                problems.append(
+                    f"{os.path.relpath(md_path, REPO_ROOT)}:{lineno}: "
+                    f"broken link target {path_part!r}"
+                )
+                continue
+        else:
+            resolved = md_path
+        if fragment and resolved.endswith(".md"):
+            if fragment not in heading_slugs(resolved):
+                problems.append(
+                    f"{os.path.relpath(md_path, REPO_ROOT)}:{lineno}: "
+                    f"no heading for anchor #{fragment} in "
+                    f"{os.path.relpath(resolved, REPO_ROOT)}"
+                )
+    return problems
+
+
+def main() -> int:
+    files = find_markdown_files(REPO_ROOT)
+    problems = []
+    for md in files:
+        problems.extend(check_file(md))
+    if problems:
+        print("\n".join(problems))
+        print(f"\n{len(problems)} broken markdown link(s) "
+              f"across {len(files)} files")
+        return 1
+    print(f"all markdown links resolve ({len(files)} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

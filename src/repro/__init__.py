@@ -37,9 +37,9 @@ from repro.server import (
     SessionStats,
     WorkItem,
 )
-from repro.storage import BAT, Catalog
+from repro.storage import BAT, Catalog, SpillStore
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Database",
@@ -64,5 +64,6 @@ __all__ = [
     "QueryBuilder",
     "BAT",
     "Catalog",
+    "SpillStore",
     "__version__",
 ]

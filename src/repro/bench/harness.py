@@ -36,6 +36,10 @@ class QueryRecord:
     marked: int
     pool_bytes: int
     pool_entries: int
+    #: Hits served by promoting a spilled entry (two-tier pool).
+    hits_promoted: int = 0
+    #: Disk-tier bytes after the query (0 without a spill tier).
+    pool_spilled_bytes: int = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -55,6 +59,16 @@ class BatchResult:
     @property
     def hits(self) -> int:
         return sum(r.hits for r in self.records)
+
+    @property
+    def promoted_hits(self) -> int:
+        """Hits served from the disk tier (subset of :attr:`hits`)."""
+        return sum(r.hits_promoted for r in self.records)
+
+    @property
+    def memory_hits(self) -> int:
+        """Hits served straight from the memory tier."""
+        return self.hits - self.promoted_hits
 
     @property
     def potential(self) -> int:
@@ -123,6 +137,8 @@ def run_batch(db: Database,
             marked=r.stats.n_marked,
             pool_bytes=db.pool_bytes,
             pool_entries=db.pool_entries,
+            hits_promoted=r.stats.hits_promoted,
+            pool_spilled_bytes=db.pool_spilled_bytes,
         ))
     return result
 
@@ -137,6 +153,7 @@ class SessionRecord:
     marked: int
     hits_local: int
     hits_global: int
+    hits_promoted: int = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -165,23 +182,30 @@ class ConcurrentBatchResult:
     def hit_ratio(self) -> float:
         return self.hits / self.potential if self.potential else 0.0
 
+    @property
+    def promoted_hits(self) -> int:
+        """Hits served from the disk tier across all sessions."""
+        return sum(s.hits_promoted for s in self.sessions)
+
     def render(self) -> str:
         """Per-session summary table (the concurrent analogue of Fig 4)."""
         header = (
             f"{'session':<12}{'queries':>9}{'hits':>7}{'marked':>8}"
-            f"{'local':>7}{'global':>8}{'ratio':>8}"
+            f"{'local':>7}{'global':>8}{'disk':>6}{'ratio':>8}"
         )
         lines = [header, "-" * len(header)]
         for s in self.sessions:
             lines.append(
                 f"{s.session:<12}{s.queries:>9}{s.hits:>7}{s.marked:>8}"
-                f"{s.hits_local:>7}{s.hits_global:>8}{s.hit_ratio:>8.2f}"
+                f"{s.hits_local:>7}{s.hits_global:>8}"
+                f"{s.hits_promoted:>6}{s.hit_ratio:>8.2f}"
             )
         lines.append(
             f"{'total':<12}{sum(s.queries for s in self.sessions):>9}"
             f"{self.hits:>7}{self.potential:>8}"
             f"{sum(s.hits_local for s in self.sessions):>7}"
-            f"{self.global_hits:>8}{self.hit_ratio:>8.2f}"
+            f"{self.global_hits:>8}{self.promoted_hits:>6}"
+            f"{self.hit_ratio:>8.2f}"
         )
         return "\n".join(lines)
 
@@ -214,6 +238,8 @@ def run_batch_concurrent(db: Database,
             marked=o.marked,
             pool_bytes=db.pool_bytes,
             pool_entries=db.pool_entries,
+            hits_promoted=o.hits_promoted,
+            pool_spilled_bytes=db.pool_spilled_bytes,
         ))
     for name, stats in sorted(cr.sessions.items()):
         result.sessions.append(SessionRecord(
@@ -223,6 +249,7 @@ def run_batch_concurrent(db: Database,
             marked=stats.marked,
             hits_local=stats.hits_local,
             hits_global=stats.hits_global,
+            hits_promoted=stats.hits_promoted,
         ))
         result.global_hits += stats.hits_global
     return result

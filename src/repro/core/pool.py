@@ -11,11 +11,22 @@ The pool also maintains the dependency graph between entries (who consumes
 whose result), which the eviction policies need: only *leaf* entries — no
 dependents in the pool — may be evicted (§4.3).
 
+The pool is **two-tiered**: every entry is either ``RESIDENT`` (its BAT
+in memory, counted in ``total_bytes``) or ``SPILLED`` (its BAT serialised
+in the attached :class:`~repro.storage.spill.SpillStore`, a
+:class:`~repro.storage.spill.SpilledStub` in its place, counted in
+``spilled_bytes``).  Demotion and promotion move an entry between tiers
+without touching the signature index, the dependency graph or the
+subsumption buckets — a spilled entry still matches, still invalidates on
+updates, and still anchors its dependents.
+
 The pool itself is not thread-safe: in multi-session mode every call runs
 under the owning :class:`~repro.core.recycler.Recycler`'s lock (see the
 recycler module docstring for the full concurrency contract).
 :meth:`RecyclePool.check_invariants` recomputes all derived state from
-scratch so tests can assert the incremental bookkeeping never drifts.
+scratch — including per-tier byte accounting and the spill files backing
+every spilled entry — so tests can assert the incremental bookkeeping
+never drifts.
 """
 
 from __future__ import annotations
@@ -25,8 +36,13 @@ from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import RecyclerError
 from repro.storage.bat import BAT
+from repro.storage.spill import SpillStore, SpilledStub
 
 Signature = Tuple  # (opname, arg_id, arg_id, ...)
+
+#: Entry tier states.
+RESIDENT = "resident"
+SPILLED = "spilled"
 
 
 def arg_identity(value: Any) -> Tuple:
@@ -66,12 +82,34 @@ class RecycleEntry:
     local_reuses: int = 0
     global_reuses: int = 0
     subsumed_reuses: int = 0
+    promotions: int = 0              # disk-to-memory moves of this entry
     saved_time: float = 0.0
     dependents: int = 0              # pool entries consuming our result
+    spilled_dependents: int = 0      # ... of which currently on disk
+    state: str = RESIDENT            # RESIDENT (memory) or SPILLED (disk)
 
     @property
     def result_token(self) -> Optional[int]:
-        return self.value.token if isinstance(self.value, BAT) else None
+        return (
+            self.value.token
+            if isinstance(self.value, (BAT, SpilledStub)) else None
+        )
+
+    @property
+    def is_spilled(self) -> bool:
+        return self.state == SPILLED
+
+    @property
+    def resident_dependents(self) -> int:
+        """Dependents whose values are in memory.
+
+        A resident entry with ``resident_dependents == 0`` may be demoted
+        even when it is not a leaf: its spilled dependents reference it by
+        token, which survives the round trip — the whole execution thread
+        moves to disk and stays matchable (§4.1's rationale, extended to
+        the two-tier pool).
+        """
+        return self.dependents - self.spilled_dependents
 
     @property
     def references(self) -> int:
@@ -98,13 +136,29 @@ class RecyclePool:
         # Incrementally maintained leaf set (entries with no dependents) —
         # eviction consults this on every admission at the resource limit.
         self._leaf_sigs: Set[Signature] = set()
+        # Demotion candidates: RESIDENT entries with no *resident*
+        # dependents (a superset of the resident leaves).  Byte-pressure
+        # eviction with a spill tier draws from this set, so a whole
+        # execution thread can follow its leaves to disk.
+        self._demotable_sigs: Set[Signature] = set()
         # arg-token -> number of pool entries consuming it.  Kept even for
         # tokens whose producer is not (or no longer) pooled: a persistent
         # bind result has a stable token, so its entry can be evicted and
         # re-admitted *after* consumers of that token — the re-admitted
         # entry must start with the surviving consumer count, not zero.
         self._consumers: Dict[int, int] = {}
+        # arg-token -> number of SPILLED pool entries consuming it (the
+        # disk-tier slice of ``_consumers``; kept for the same
+        # absent-producer reason).
+        self._spilled_consumers: Dict[int, int] = {}
+        #: Memory-tier bytes: owned bytes of RESIDENT entries only.
         self.total_bytes = 0
+        #: Disk-tier bytes: owned bytes of SPILLED entries (logical BAT
+        #: size; the store tracks actual file sizes for its quota).
+        self.spilled_bytes = 0
+        #: The disk tier, attached by the recycler when spilling is
+        #: configured; None keeps the classic single-tier behaviour.
+        self.spill: Optional[SpillStore] = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -131,6 +185,8 @@ class RecyclePool:
     def add(self, entry: RecycleEntry) -> None:
         if entry.sig in self._by_sig:
             raise RecyclerError(f"duplicate pool entry for {entry.sig[0]}")
+        if entry.is_spilled:
+            raise RecyclerError("entries are admitted resident, not spilled")
         self._by_sig[entry.sig] = entry
         token = entry.result_token
         if token is not None:
@@ -139,6 +195,7 @@ class RecyclePool:
             # (possible for stable persistent-bind tokens) count from the
             # start — otherwise their later removal drives us negative.
             entry.dependents = self._consumers.get(token, 0)
+            entry.spilled_dependents = self._spilled_consumers.get(token, 0)
         first = self._first_bat_token(entry.sig)
         if first is not None:
             self._by_op_arg.setdefault((entry.opname, first), []).append(entry)
@@ -148,8 +205,10 @@ class RecyclePool:
             if parent is not None:
                 parent.dependents += 1
                 self._leaf_sigs.discard(parent.sig)
+                self._update_demotable(parent)
         if entry.dependents == 0:
             self._leaf_sigs.add(entry.sig)
+        self._update_demotable(entry)
         self.total_bytes += entry.nbytes
 
     def remove(self, entry: RecycleEntry) -> None:
@@ -177,10 +236,19 @@ class RecyclePool:
             removed += 1
         return removed
 
+    def _update_demotable(self, entry: RecycleEntry) -> None:
+        """Re-derive one entry's membership in the demotable set."""
+        if (entry.sig in self._by_sig and not entry.is_spilled
+                and entry.resident_dependents == 0):
+            self._demotable_sigs.add(entry.sig)
+        else:
+            self._demotable_sigs.discard(entry.sig)
+
     def _discard(self, entry: RecycleEntry,
                  skip_parent_tokens: Optional[Set[int]] = None) -> None:
         del self._by_sig[entry.sig]
         self._leaf_sigs.discard(entry.sig)
+        self._demotable_sigs.discard(entry.sig)
         token = entry.result_token
         if token is not None:
             self._by_token.pop(token, None)
@@ -194,20 +262,115 @@ class RecyclePool:
                     pass
                 if not bucket:
                     del self._by_op_arg[(entry.opname, first)]
+        spilled = entry.is_spilled
         for t in entry.arg_tokens:
             remaining = self._consumers.get(t, 0) - 1
             if remaining > 0:
                 self._consumers[t] = remaining
             else:
                 self._consumers.pop(t, None)
+            if spilled:
+                s_remaining = self._spilled_consumers.get(t, 0) - 1
+                if s_remaining > 0:
+                    self._spilled_consumers[t] = s_remaining
+                else:
+                    self._spilled_consumers.pop(t, None)
             if skip_parent_tokens and t in skip_parent_tokens:
                 continue
             parent = self._by_token.get(t)
             if parent is not None:
                 parent.dependents -= 1
+                if spilled:
+                    parent.spilled_dependents -= 1
                 if parent.dependents == 0:
                     self._leaf_sigs.add(parent.sig)
+                self._update_demotable(parent)
+        if entry.is_spilled:
+            self.spilled_bytes -= entry.nbytes
+            if self.spill is not None and token is not None:
+                # Removal from the pool is also removal from disk — this
+                # is what makes invalidation of a spilled entry delete
+                # its files.
+                self.spill.delete(token)
+        else:
+            self.total_bytes -= entry.nbytes
+
+    # ------------------------------------------------------------------
+    # Tier moves (the recycler handles the actual disk I/O)
+    # ------------------------------------------------------------------
+    def demote(self, entry: RecycleEntry) -> None:
+        """Move *entry* to the disk tier after its BAT has been spilled.
+
+        The caller (the recycler's eviction path) has already written the
+        BAT to the spill store; here the in-memory value is swapped for a
+        :class:`SpilledStub` and the bytes move between the tier counters.
+        The signature/token/subsumption indexes are keyed by data that
+        survives demotion; only the tier-dependent books (consumer split,
+        parents' demotability) move.
+        """
+        if entry.sig not in self._by_sig or entry.is_spilled:
+            raise RecyclerError(f"cannot demote {entry.opname}")
+        value = entry.value
+        if not isinstance(value, BAT):
+            raise RecyclerError(f"demoting non-BAT entry {entry.opname}")
+        entry.value = SpilledStub.of(value)
+        entry.state = SPILLED
+        self._demotable_sigs.discard(entry.sig)
+        for t in entry.arg_tokens:
+            self._spilled_consumers[t] = \
+                self._spilled_consumers.get(t, 0) + 1
+            parent = self._by_token.get(t)
+            if parent is not None:
+                parent.spilled_dependents += 1
+                self._update_demotable(parent)
         self.total_bytes -= entry.nbytes
+        self.spilled_bytes += entry.nbytes
+
+    def promote(self, entry: RecycleEntry, value: BAT) -> None:
+        """Bring a spilled *entry* back to memory with the reloaded BAT.
+
+        *value* must carry the original token
+        (:meth:`~repro.storage.bat.BAT.from_spill` guarantees it), so the
+        token index keeps pointing at the same lineage.  The spill files
+        are deleted — on POSIX the promoted BAT's memory-mapped columns
+        survive the unlink, and a later re-demotion rewrites them.
+        """
+        if entry.sig not in self._by_sig or not entry.is_spilled:
+            raise RecyclerError(f"cannot promote {entry.opname}")
+        token = entry.result_token
+        if value.token != token:
+            raise RecyclerError(
+                f"promotion token mismatch: entry {token}, "
+                f"BAT {value.token}"
+            )
+        entry.value = value
+        entry.state = RESIDENT
+        entry.promotions += 1
+        for t in entry.arg_tokens:
+            s_remaining = self._spilled_consumers.get(t, 0) - 1
+            if s_remaining > 0:
+                self._spilled_consumers[t] = s_remaining
+            else:
+                self._spilled_consumers.pop(t, None)
+            parent = self._by_token.get(t)
+            if parent is not None:
+                parent.spilled_dependents -= 1
+                self._update_demotable(parent)
+        self._update_demotable(entry)
+        self.spilled_bytes -= entry.nbytes
+        self.total_bytes += entry.nbytes
+        if self.spill is not None:
+            self.spill.delete(token)
+
+    def spilled_entries(self) -> List[RecycleEntry]:
+        return [e for e in self._by_sig.values() if e.is_spilled]
+
+    def spilled_leaves(self) -> List[RecycleEntry]:
+        """Spilled entries with no dependents — disk-tier quota victims."""
+        return [
+            self._by_sig[s] for s in self._leaf_sigs
+            if self._by_sig[s].is_spilled
+        ]
 
     @staticmethod
     def _first_bat_token(sig: Signature) -> Optional[int]:
@@ -227,6 +390,17 @@ class RecyclePool:
             ]
         return [self._by_sig[s] for s in self._leaf_sigs]
 
+    def demotable(self, protected: Optional[Set[Signature]] = None
+                  ) -> List[RecycleEntry]:
+        """Byte-pressure candidates with a spill tier: resident entries
+        with no resident dependents (superset of the resident leaves)."""
+        if protected:
+            return [
+                self._by_sig[s] for s in self._demotable_sigs
+                if s not in protected
+            ]
+        return [self._by_sig[s] for s in self._demotable_sigs]
+
     def stale_entries(self, stale_columns: Set[Tuple[str, str]],
                       current_versions: Optional[Set[Tuple[str, str, int]]]
                       = None) -> List[RecycleEntry]:
@@ -235,11 +409,14 @@ class RecyclePool:
         With *current_versions* given, entries already anchored at the
         current column version (e.g. just refreshed by delta propagation,
         §6.3) are not considered stale.
+
+        Spilled entries participate through their stubs' ``sources`` —
+        an intermediate on disk goes just as stale as one in memory.
         """
         out = []
         for e in self._by_sig.values():
             value = e.value
-            if not isinstance(value, BAT):
+            if not isinstance(value, (BAT, SpilledStub)):
                 continue
             for (t, c, v) in value.sources:
                 if (t, c) not in stale_columns:
@@ -254,18 +431,57 @@ class RecyclePool:
         """Recompute all derived pool state and compare with the books.
 
         Raises :class:`RecyclerError` naming every discrepancy found:
-        byte/entry accounting, the token index, the subsumption buckets,
-        the dependency counts, and the incremental leaf set.  Meant for
-        tests and debugging — it is O(pool size).
+        per-tier byte accounting, the token index, the subsumption
+        buckets, the dependency counts, the incremental leaf set, and —
+        with a spill store attached — the disk files backing every
+        spilled entry.  Meant for tests and debugging — it is O(pool
+        size) plus one directory scan.
         """
         problems: List[str] = []
         entries = list(self._by_sig.values())
 
-        true_bytes = sum(e.nbytes for e in entries)
+        true_bytes = sum(e.nbytes for e in entries if not e.is_spilled)
         if true_bytes != self.total_bytes:
             problems.append(
                 f"total_bytes drift: recorded {self.total_bytes}, "
                 f"recomputed {true_bytes}"
+            )
+        true_spilled = sum(e.nbytes for e in entries if e.is_spilled)
+        if true_spilled != self.spilled_bytes:
+            problems.append(
+                f"spilled_bytes drift: recorded {self.spilled_bytes}, "
+                f"recomputed {true_spilled}"
+            )
+
+        for e in entries:
+            if e.is_spilled and not isinstance(e.value, SpilledStub):
+                problems.append(
+                    f"spilled entry {e.opname} holds "
+                    f"{type(e.value).__name__}, expected SpilledStub"
+                )
+            elif not e.is_spilled and isinstance(e.value, SpilledStub):
+                problems.append(
+                    f"resident entry {e.opname} still holds a SpilledStub"
+                )
+        spilled_tokens = {
+            e.result_token for e in entries
+            if e.is_spilled and e.result_token is not None
+        }
+        if self.spill is not None:
+            for token in sorted(spilled_tokens):
+                if not self.spill.has(token):
+                    problems.append(
+                        f"spilled token {token} missing from the store"
+                    )
+            for token in self.spill.tokens():
+                if token not in spilled_tokens:
+                    problems.append(
+                        f"store holds token {token} with no spilled entry"
+                    )
+            problems.extend(self.spill.check())
+        elif spilled_tokens:
+            problems.append(
+                f"{len(spilled_tokens)} spilled entries but no spill store"
             )
 
         true_tokens = {
@@ -311,6 +527,47 @@ class RecyclePool:
                 f"{len(true_leaves)} recomputed"
             )
 
+        true_spilled_deps: Dict[Signature, int] = {e.sig: 0 for e in entries}
+        for e in entries:
+            if not e.is_spilled:
+                continue
+            for t in e.arg_tokens:
+                parent = true_tokens.get(t)
+                if parent is not None:
+                    true_spilled_deps[parent.sig] += 1
+        for e in entries:
+            if e.spilled_dependents != true_spilled_deps[e.sig]:
+                problems.append(
+                    f"spilled-dependents drift on {e.opname}: recorded "
+                    f"{e.spilled_dependents}, recomputed "
+                    f"{true_spilled_deps[e.sig]}"
+                )
+
+        true_spilled_consumers: Dict[int, int] = {}
+        for e in entries:
+            if not e.is_spilled:
+                continue
+            for t in e.arg_tokens:
+                true_spilled_consumers[t] = \
+                    true_spilled_consumers.get(t, 0) + 1
+        if true_spilled_consumers != self._spilled_consumers:
+            problems.append(
+                f"spilled-consumer index drift: "
+                f"{len(self._spilled_consumers)} recorded tokens vs "
+                f"{len(true_spilled_consumers)} recomputed"
+            )
+
+        true_demotable = {
+            e.sig for e in entries
+            if not e.is_spilled
+            and true_deps[e.sig] == true_spilled_deps[e.sig]
+        }
+        if true_demotable != self._demotable_sigs:
+            problems.append(
+                f"demotable set drift: {len(self._demotable_sigs)} "
+                f"recorded vs {len(true_demotable)} recomputed"
+            )
+
         true_buckets: Dict[Tuple[str, int], List[RecycleEntry]] = {}
         for e in entries:
             first = self._first_bat_token(e.sig)
@@ -335,14 +592,20 @@ class RecyclePool:
             )
 
     def clear(self) -> List[RecycleEntry]:
-        """Empty the pool, returning the removed entries."""
+        """Empty the pool — both tiers — returning the removed entries."""
         removed = list(self._by_sig.values())
         self._by_sig.clear()
         self._by_token.clear()
         self._by_op_arg.clear()
         self._leaf_sigs.clear()
+        self._demotable_sigs.clear()
         self._consumers.clear()
+        self._spilled_consumers.clear()
         self.total_bytes = 0
+        self.spilled_bytes = 0
+        if self.spill is not None:
+            self.spill.clear()
         for e in removed:
             e.dependents = 0
+            e.spilled_dependents = 0
         return removed

@@ -14,13 +14,22 @@ Update synchronisation (§6.4) enters through :meth:`on_update`: immediate,
 column-wise invalidation, with optional delta propagation for eligible
 select intermediates (the §6.3 design, see :mod:`repro.core.propagation`).
 
+Two-tier pool: with ``spill_dir`` configured, eviction under *memory*
+pressure may **demote** a victim to a disk-backed
+:class:`~repro.storage.spill.SpillStore` instead of destroying it (the
+:func:`~repro.core.eviction.should_demote` cost/benefit rule); a later
+match **promotes** the entry back — a cheaper hit than recomputation.
+Entry-count pressure still destroys, since a spilled entry occupies a
+cache line all the same.
+
 Concurrency contract (multi-session mode, :mod:`repro.server`): all pool
-state — the :class:`RecyclePool`, the admission/eviction policies, and the
-cumulative totals — is guarded by one re-entrant ``lock``.  Every public
-entry point acquires it; operator execution stays outside (the interpreter
-calls in only for Algorithm 1 bookkeeping), so sessions overlap their real
-work.  Eviction protects the union of all *active* invocations' touched
-sets, generalising the §4.3 single-query protection rule.
+state — the :class:`RecyclePool`, the admission/eviction policies, the
+spill store, and the cumulative totals — is guarded by one re-entrant
+``lock``.  Every public entry point acquires it; operator execution stays
+outside (the interpreter calls in only for Algorithm 1 bookkeeping), so
+sessions overlap their real work.  Eviction — including demotion and
+disk-quota reclaim — protects the union of all *active* invocations'
+touched sets, generalising the §4.3 single-query protection rule.
 """
 
 from __future__ import annotations
@@ -33,7 +42,12 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.core.admission import AdmissionPolicy, KeepAllAdmission
-from repro.core.eviction import EvictionPolicy, LruEviction
+from repro.core.eviction import (
+    EvictionPolicy,
+    LruEviction,
+    reload_cost,
+    should_demote,
+)
 from repro.core.pool import (
     RecycleEntry,
     RecyclePool,
@@ -49,9 +63,10 @@ from repro.core.subsumption import (
     select_entry_range,
     split_target_into_segments,
 )
-from repro.errors import RecyclerError
+from repro.errors import RecyclerError, SpillError
 from repro.mal.program import Instr, MalProgram
 from repro.storage.bat import BAT
+from repro.storage.spill import SpillStore
 
 
 @dataclass
@@ -61,6 +76,11 @@ class RecyclerConfig:
     ``max_bytes``/``max_entries`` of None mean unlimited (the paper's
     KEEPALL/unlimited baseline).  ``overhead_tuples`` is the ``ov`` term of
     the combined-subsumption cost model (§5.2).
+
+    ``spill_dir`` enables the two-tier pool: eviction victims whose
+    recomputation is dearer than a reload are demoted to ``.npy`` files
+    in this directory instead of destroyed, bounded by
+    ``spill_limit_bytes`` (None = unlimited disk tier).
     """
 
     max_bytes: Optional[int] = None
@@ -69,6 +89,8 @@ class RecyclerConfig:
     combined_subsumption: bool = True
     propagate_selects: bool = False
     overhead_tuples: float = 0.0
+    spill_dir: Optional[str] = None
+    spill_limit_bytes: Optional[int] = None
 
 
 @dataclass
@@ -85,6 +107,12 @@ class RecyclerTotals:
     evictions: int = 0
     invalidations: int = 0
     propagated: int = 0
+    #: Disk-tier counters (two-tier pool; all zero without ``spill_dir``).
+    demotions: int = 0           # victims moved to disk instead of destroyed
+    promotions: int = 0          # spilled entries brought back to memory
+    promoted_hits: int = 0       # hits that needed at least one promotion
+    spill_evictions: int = 0     # spilled entries destroyed (quota reclaim)
+    spill_errors: int = 0        # corrupt/unreadable spill entries dropped
     saved_time: float = 0.0
     subsumption_algo_time: float = 0.0
     subsumption_algo_calls: int = 0
@@ -136,6 +164,11 @@ class Recycler:
         self.config = config or RecyclerConfig()
         self.clock = clock
         self.pool = RecyclePool()
+        self.spill: Optional[SpillStore] = None
+        if self.config.spill_dir is not None:
+            self.spill = SpillStore(self.config.spill_dir,
+                                    self.config.spill_limit_bytes)
+            self.pool.spill = self.spill
         self.totals = RecyclerTotals()
         self._invocation_seq = 0
         #: Guards all pool state; re-entrant so internal helpers can call
@@ -174,32 +207,53 @@ class Recycler:
                               args: Tuple) -> Optional[_Reuse]:
         sig = make_signature(instr.opname, args)
         entry = self.pool.lookup(sig)
+        promoted = False
+        value = entry.value if entry is not None else None
+        if entry is not None and entry.is_spilled:
+            # Disk-tier hit: promote before serving.  A corrupt spill
+            # entry is dropped and the instruction falls through to the
+            # subsumption search / genuine execution.
+            value = self._promote_entry(inv, entry)
+            promoted = value is not None
+            if not promoted:
+                entry = None
         if entry is not None:
-            local = self._record_reuse(inv, entry)
+            # A promoted hit is cheaper than recomputation but not free:
+            # credit the recorded cost minus the estimated reload cost.
+            saved = entry.cost
+            if promoted:
+                saved = max(entry.cost - reload_cost(entry.nbytes), 0.0)
+                inv.stats.hits_promoted += 1
+                self.totals.promoted_hits += 1
+            local = self._record_reuse(inv, entry, saved=saved)
             inv.stats.hits_exact += 1
-            inv.stats.saved_time += entry.cost
+            inv.stats.saved_time += saved
             if local:
-                inv.stats.saved_local += entry.cost
+                inv.stats.saved_local += saved
                 if opdef.kind != "bind":
                     inv.stats.hits_local_nonbind += 1
             else:
-                inv.stats.saved_global += entry.cost
+                inv.stats.saved_global += saved
                 if opdef.kind != "bind":
                     inv.stats.hits_global_nonbind += 1
             self.totals.exact_hits += 1
-            self.totals.saved_time += entry.cost
+            self.totals.saved_time += saved
             inv.touched.add(entry.sig)
-            return _Reuse(entry.value)
+            return _Reuse(value)
 
         if (self.config.subsumption
                 and instr.opname in self.SUBSUMABLE_OPS
                 and isinstance(args[0], BAT)):
+            promotions_before = self.totals.promotions
             outcome = self._try_subsume(inv, instr.opname, args)
             if outcome is not None:
                 inv.stats.hits_subsumed += 1
                 self.totals.subsumed_hits += 1
                 if outcome.kind == "combined":
                     self.totals.combined_hits += 1
+                if self.totals.promotions > promotions_before:
+                    inv.stats.hits_promoted += 1
+                    self.totals.promoted_hits += 1
                 for used in outcome.used_entries:
                     self._record_reuse(inv, used, subsumed=True)
                     inv.touched.add(used.sig)
@@ -221,11 +275,16 @@ class Recycler:
     # Internals
     # ------------------------------------------------------------------
     def _record_reuse(self, inv: Invocation, entry: RecycleEntry,
-                      subsumed: bool = False) -> bool:
-        """Update reuse statistics; returns True for a *local* reuse."""
+                      subsumed: bool = False,
+                      saved: Optional[float] = None) -> bool:
+        """Update reuse statistics; returns True for a *local* reuse.
+
+        *saved* overrides the credited time for this reuse (promoted hits
+        save less than the full recomputation cost).
+        """
         entry.reuse_count += 1
         entry.last_used = inv.clock()
-        entry.saved_time += entry.cost
+        entry.saved_time += entry.cost if saved is None else saved
         if subsumed:
             entry.subsumed_reuses += 1
         if entry.invocation_id == inv.id:
@@ -277,7 +336,145 @@ class Recycler:
         inv.stats.admitted_bytes += nbytes
         self.totals.admissions += 1
 
-    def _ensure_capacity(self, inv: Invocation, incoming_bytes: int) -> None:
+    # ------------------------------------------------------------------
+    # Two-tier moves (spill_dir configured; always under the lock)
+    # ------------------------------------------------------------------
+    def _promote_entry(self, inv: Invocation,
+                       entry: RecycleEntry) -> Optional[BAT]:
+        """Reload a spilled entry into memory; None when the spill is bad.
+
+        A corrupt or missing spill file drops the stub from the pool (the
+        caller falls back to recomputation — correctness never depends on
+        the disk tier).  A successful promotion may push the memory tier
+        over its limit, so capacity is re-balanced with the promoted
+        entry protected.
+
+        Returns the reloaded BAT itself, **not** ``entry.value``: the
+        capacity re-balance may — when every other leaf is protected —
+        demote the freshly promoted entry right back, and the caller must
+        still serve the real BAT, never the stub.
+        """
+        token = entry.result_token
+        try:
+            value = self.spill.load(token)
+        except SpillError:
+            # Same cascade rule as eviction's destroy path: a dropped
+            # producer strands its spilled dependent thread, unless its
+            # token is stable across re-admission.
+            if entry.dependents and not self._token_is_stable(entry):
+                self._drop_dependent_thread(entry)
+            self.pool.remove_set([entry])
+            self.admission.on_evict(entry)
+            self.totals.spill_errors += 1
+            return None
+        self.pool.promote(entry, value)
+        self.totals.promotions += 1
+        inv.touched.add(entry.sig)
+        # Promotion adds bytes but no pool entry: reserve no admission
+        # slot, or every promoted hit at the entry limit would evict.
+        self._ensure_capacity(inv, 0, incoming_entries=0)
+        return value
+
+    def _resident_value(self, inv: Invocation,
+                        entry: RecycleEntry) -> Optional[BAT]:
+        """The entry's BAT, promoting it first when spilled."""
+        if entry.is_spilled:
+            return self._promote_entry(inv, entry)
+        return entry.value
+
+    def _reclaim_spill_room(self, nbytes: int,
+                            protected: Set[Signature]) -> bool:
+        """Free disk-tier quota for *nbytes* by dropping spilled leaves.
+
+        Least-recently-used spilled leaves go first (they already lost
+        the memory-tier contest once).  Returns whether the store now has
+        room.
+        """
+        spill = self.spill
+        if spill.room_for(nbytes):
+            return True
+        reclaimable = sorted(
+            (e for e in self.pool.spilled_leaves()
+             if e.sig not in protected),
+            key=lambda e: e.last_used,
+        )
+        for victim in reclaimable:
+            if spill.room_for(nbytes):
+                break
+            self.pool.remove(victim)
+            self.admission.on_evict(victim)
+            self.totals.spill_evictions += 1
+            self.totals.evictions += 1
+        return spill.room_for(nbytes)
+
+    @staticmethod
+    def _token_is_stable(entry: RecycleEntry) -> bool:
+        """Does this entry's result token survive eviction?
+
+        Persistent binds and join indices come from the catalogue's bind
+        caches: re-executing them returns the *same* BAT (same token)
+        until an update bumps the column version, so their dependents
+        remain matchable after the producer entry is destroyed — the
+        ``_consumers`` contract in :mod:`repro.core.pool`.
+        """
+        return getattr(entry.value, "persistent_name", None) is not None
+
+    def _drop_dependent_thread(self, victim: RecycleEntry) -> None:
+        """Drop the transitive pool dependents of a doomed *victim*.
+
+        Used when eviction destroys a demotable entry that still has
+        spilled dependents: their signatures reference the victim's
+        result token, which can never be minted again, so they could
+        never match — dead weight on disk.  Not applied to
+        stable-token producers (see :meth:`_token_is_stable`).
+        """
+        token = victim.result_token
+        if token is None or victim.dependents == 0:
+            return
+        doomed: Set[Signature] = set()
+        frontier = {token}
+        while frontier:
+            nxt = set()
+            for e in self.pool.entries():
+                if e is victim or e.sig in doomed:
+                    continue
+                if any(t in frontier for t in e.arg_tokens):
+                    doomed.add(e.sig)
+                    if e.result_token is not None:
+                        nxt.add(e.result_token)
+            frontier = nxt
+        victims = [e for e in self.pool.entries() if e.sig in doomed]
+        self.pool.remove_set(victims)
+        for v in victims:
+            self.admission.on_evict(v)
+            self.totals.evictions += 1
+            if v.is_spilled:
+                self.totals.spill_evictions += 1
+
+    def _demote_entry(self, inv: Invocation, victim: RecycleEntry,
+                      protected: Set[Signature]) -> bool:
+        """Try to demote an eviction victim; False means destroy it."""
+        value = victim.value
+        if not isinstance(value, BAT) or not value.spillable:
+            return False
+        # Reclaim against the real file size, not owned_nbytes — a
+        # zero-cost view owns nothing yet writes its shared columns out
+        # in full.
+        if not self._reclaim_spill_room(
+                SpillStore.projected_bytes(value), protected):
+            return False
+        try:
+            self.spill.write(value)
+        except SpillError:
+            # Quota race or I/O failure: fall back to destruction.
+            return False
+        self.pool.demote(victim)
+        self.totals.demotions += 1
+        inv.stats.demoted_entries += 1
+        return True
+
+    def _ensure_capacity(self, inv: Invocation, incoming_bytes: int,
+                         incoming_entries: int = 1) -> None:
         cfg = self.config
         # Protect every in-flight invocation's touched entries, not just
         # ours — another session may be mid-plan over a pooled value.
@@ -294,11 +491,24 @@ class Recycler:
         def need_entries() -> int:
             if cfg.max_entries is None:
                 return 0
-            return max(0, len(self.pool) + 1 - cfg.max_entries)
+            return max(0, len(self.pool) + incoming_entries
+                       - cfg.max_entries)
 
         dropped_protection = False
         while need_bytes() > 0 or need_entries() > 0:
-            leaves = self.pool.leaves(protected)
+            # Demotion only relieves the memory limit; under entry-count
+            # pressure a spilled entry still occupies a cache line, so
+            # victims must be destroyed outright.
+            byte_mode = need_bytes() > 0 and need_entries() <= 0
+            if byte_mode and self.spill is not None:
+                # Two-tier byte pressure draws from the demotable set —
+                # resident entries with no *resident* dependents — so a
+                # parent can follow its spilled children to disk and the
+                # whole thread stays matchable.  (Spilled leaves hold no
+                # memory-tier bytes; destroying them would not help.)
+                leaves = self.pool.demotable(protected)
+            else:
+                leaves = self.pool.leaves(protected)
             if not leaves:
                 if not dropped_protection:
                     # §4.3 exception: a single query filling the whole pool
@@ -313,7 +523,25 @@ class Recycler:
             if not victims:
                 break
             for victim in victims:
-                self.pool.remove(victim)
+                if victim.sig not in self.pool:
+                    continue  # removed by an earlier victim's cascade
+                if (byte_mode and self.spill is not None
+                        and not victim.is_spilled
+                        and should_demote(victim)
+                        and self._demote_entry(inv, victim, protected)):
+                    continue
+                if victim.dependents and not self._token_is_stable(victim):
+                    # A destroyed producer's token dies with it, so its
+                    # (spilled) dependent thread is unmatchable garbage —
+                    # drop it rather than strand it on disk.
+                    self._drop_dependent_thread(victim)
+                if victim.dependents:
+                    # Stable-token producer (persistent bind/index):
+                    # dependents stay matchable across re-admission, so
+                    # they survive — bypass the leaf-only check.
+                    self.pool.remove_set([victim])
+                else:
+                    self.pool.remove(victim)
                 self.admission.on_evict(victim)
                 inv.stats.evicted_entries += 1
                 self.totals.evictions += 1
@@ -377,7 +605,10 @@ class Recycler:
         if singles:
             # Cost model: smallest intermediate wins (§5.1).
             _rng, entry = min(singles, key=lambda it: it[1].tuples)
-            source: BAT = entry.value
+            inv.touched.add(entry.sig)
+            source = self._resident_value(inv, entry)
+            if source is None:
+                return None  # corrupt spill entry dropped; execute normally
             if point_value is not None:
                 result = algebra_uselect(None, source, point_value)
             elif in_values is not None:
@@ -405,11 +636,19 @@ class Recycler:
         segments = split_target_into_segments(target, chosen)
         if not segments:
             return None
+        # Protect every chosen piece before the first promotion — a
+        # promotion re-balances capacity and must not demote or destroy a
+        # sibling piece we are about to read.
+        for _seg, entry in segments:
+            inv.touched.add(entry.sig)
         heads: List[np.ndarray] = []
         tails: List[np.ndarray] = []
         used: List[RecycleEntry] = []
         for seg, entry in segments:
-            piece = algebra_select(None, entry.value, seg.lo, seg.hi,
+            source = self._resident_value(inv, entry)
+            if source is None:
+                return None  # corrupt piece; fall back to execution
+            piece = algebra_select(None, source, seg.lo, seg.hi,
                                    seg.lo_incl, seg.hi_incl)
             heads.append(piece.head_values())
             tails.append(piece.tail_values())
@@ -433,7 +672,11 @@ class Recycler:
             except (IndexError, TypeError):
                 continue
             if like_subsumes(cached_pattern, pattern):
-                result = algebra_likeselect(None, entry.value, pattern)
+                inv.touched.add(entry.sig)
+                source = self._resident_value(inv, entry)
+                if source is None:
+                    continue  # corrupt spill entry dropped; try the next
+                result = algebra_likeselect(None, source, pattern)
                 result = self._rebase(result, operand)
                 return SubsumptionOutcome(result, [entry], "like")
         return None
@@ -455,7 +698,11 @@ class Recycler:
                     best = entry
         if best is None:
             return None
-        result = algebra_semijoin(None, best.value, filt)
+        inv.touched.add(best.sig)
+        source = self._resident_value(inv, best)
+        if source is None:
+            return None  # corrupt spill entry dropped; execute normally
+        result = algebra_semijoin(None, source, filt)
         result = self._rebase(result, operand)
         return SubsumptionOutcome(result, [best], "semijoin")
 
@@ -545,8 +792,18 @@ class Recycler:
     # ------------------------------------------------------------------
     @property
     def memory_used(self) -> int:
+        """Memory-tier bytes (resident entries only)."""
         return self.pool.total_bytes
+
+    @property
+    def spilled_bytes(self) -> int:
+        """Disk-tier bytes (logical size of spilled entries)."""
+        return self.pool.spilled_bytes
 
     @property
     def entry_count(self) -> int:
         return len(self.pool)
+
+    @property
+    def spilled_entry_count(self) -> int:
+        return len(self.pool.spilled_entries())

@@ -24,6 +24,9 @@ class KindRow:
     reused_entries: int = 0
     reuses: int = 0
     saved_time: float = 0.0
+    #: Two-tier pool: entries/bytes currently demoted to the disk tier.
+    spilled_entries: int = 0
+    spilled_bytes: int = 0
 
     @property
     def avg_cost_ms(self) -> float:
@@ -54,20 +57,23 @@ class PoolReport:
             agg.reused_entries += row.reused_entries
             agg.reuses += row.reuses
             agg.saved_time += row.saved_time
+            agg.spilled_entries += row.spilled_entries
+            agg.spilled_bytes += row.spilled_bytes
         return agg
 
     def render(self) -> str:
         """Fixed-width text table in the spirit of the paper's Table III."""
         header = (
             f"{'kind':<10}{'lines':>7}{'MB':>9}{'avg ms':>9}"
-            f"{'reused':>8}{'reuses':>8}{'avg saved ms':>14}"
+            f"{'reused':>8}{'reuses':>8}{'spilled':>9}{'avg saved ms':>14}"
         )
         lines = [header, "-" * len(header)]
         for row in self.rows + [self.total]:
             lines.append(
                 f"{row.kind:<10}{row.entries:>7}{row.mbytes:>9.1f}"
                 f"{row.avg_cost_ms:>9.2f}{row.reused_entries:>8}"
-                f"{row.reuses:>8}{row.avg_saved_ms:>14.2f}"
+                f"{row.reuses:>8}{row.spilled_entries:>9}"
+                f"{row.avg_saved_ms:>14.2f}"
             )
         return "\n".join(lines)
 
@@ -84,5 +90,8 @@ def pool_report(pool: RecyclePool) -> PoolReport:
             row.reused_entries += 1
         row.reuses += entry.reuse_count
         row.saved_time += entry.saved_time
+        if entry.is_spilled:
+            row.spilled_entries += 1
+            row.spilled_bytes += entry.nbytes
     rows = sorted(by_kind.values(), key=lambda r: -r.nbytes)
     return PoolReport(rows)

@@ -61,7 +61,18 @@ class Database:
             unlimited).
         subsumption/combined_subsumption: enable §5 features.
         propagate_selects: enable the §6.3 delta-propagation extension.
+        spill_dir: directory for the disk tier of the recycle pool;
+            eviction victims worth keeping are demoted there instead of
+            destroyed, and promoted back on a later match.  ``None``
+            (the default) keeps the classic single-tier pool.
+        spill_limit_bytes: byte quota of the spill directory (None =
+            unlimited disk tier).
         clock: injectable time source for deterministic tests.
+
+    Spill-tier quickstart::
+
+        db = Database(max_bytes=64 << 20, spill_dir="/tmp/repro-spill",
+                      spill_limit_bytes=1 << 30)
     """
 
     def __init__(
@@ -75,6 +86,8 @@ class Database:
         subsumption: bool = True,
         combined_subsumption: bool = True,
         propagate_selects: bool = False,
+        spill_dir: Optional[str] = None,
+        spill_limit_bytes: Optional[int] = None,
         clock: Callable[[], float] = time.perf_counter,
     ):
         self.catalog = Catalog()
@@ -89,6 +102,8 @@ class Database:
                     subsumption=subsumption,
                     combined_subsumption=combined_subsumption,
                     propagate_selects=propagate_selects,
+                    spill_dir=spill_dir,
+                    spill_limit_bytes=spill_limit_bytes,
                 ),
                 clock=clock,
             )
@@ -304,7 +319,13 @@ class Database:
 
     @property
     def pool_bytes(self) -> int:
+        """Memory-tier pool bytes (resident entries)."""
         return self.recycler.memory_used if self.recycler else 0
+
+    @property
+    def pool_spilled_bytes(self) -> int:
+        """Disk-tier pool bytes (spilled entries)."""
+        return self.recycler.spilled_bytes if self.recycler else 0
 
     @property
     def pool_entries(self) -> int:

@@ -21,6 +21,14 @@ class BatTypeError(StorageError):
     """An operator received a BAT of an incompatible type."""
 
 
+class SpillError(StorageError):
+    """A spill-store operation failed (missing, corrupt or unwritable file)."""
+
+
+class SpillQuotaError(SpillError):
+    """Writing a BAT would exceed the spill store's byte quota."""
+
+
 class CatalogError(ReproError):
     """Unknown schema objects, duplicate definitions, and the like."""
 

@@ -42,6 +42,9 @@ class ExecutionStats:
     n_executed_marked: int = 0
     hits_exact: int = 0
     hits_subsumed: int = 0
+    #: hits served from the disk tier — the matched (or subsuming) entry
+    #: was spilled and had to be promoted back into memory first.
+    hits_promoted: int = 0
     hits_local: int = 0
     hits_global: int = 0
     #: hits excluding ``sql.bind`` — Table II counts commonalities over
@@ -55,10 +58,16 @@ class ExecutionStats:
     admitted_entries: int = 0
     admitted_bytes: int = 0
     evicted_entries: int = 0
+    demoted_entries: int = 0
 
     @property
     def hits(self) -> int:
         return self.hits_exact + self.hits_subsumed
+
+    @property
+    def hits_memory(self) -> int:
+        """Hits served straight from the memory tier (no promotion)."""
+        return self.hits - self.hits_promoted
 
     @property
     def hit_ratio(self) -> float:

@@ -20,10 +20,14 @@ Locking protocol (coarse, two levels):
    plan, and update invalidation never interleaves with a running plan.
 2. **Recycler pool lock** — one re-entrant mutex inside
    :class:`~repro.core.recycler.Recycler` guards all pool state
-   (lookup, admission, eviction, invalidation, statistics).  Operator
+   (lookup, admission, eviction, demotion/promotion and the spill
+   store of the two-tier pool, invalidation, statistics).  Operator
    execution happens *outside* this lock: the interpreter only enters it
    for the ``recycleEntry``/``recycleExit`` bookkeeping of Algorithm 1,
    so concurrent sessions overlap their actual query work.
+
+The full walk-through, with the paper-section map, lives in
+``docs/ARCHITECTURE.md``.
 """
 
 from repro.server.locks import ReadWriteLock

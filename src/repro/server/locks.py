@@ -10,6 +10,13 @@ The lock is re-entrant per thread for the *read* side (a session callback
 that issues a nested query must not deadlock), but deliberately not
 upgradeable: acquiring the write side while holding the read side is a
 programming error and raises immediately instead of deadlocking.
+
+Place in the overall contract (``docs/ARCHITECTURE.md``): this lock
+serialises queries against updates at the *database* level; recycle-pool
+state — including the two-tier pool's spill store — has its own
+re-entrant ``Recycler.lock`` below it.  Lock order is always
+database-lock → pool-lock; nothing acquires the database lock while
+holding the pool lock, so the two levels cannot deadlock.
 """
 
 from __future__ import annotations

@@ -10,6 +10,14 @@ hits, concurrent eviction) rather than accidental serial execution.
 Results come back in *workload order* regardless of which session ran
 them, so callers can compare them 1:1 against a serial reference run —
 the contract the differential and stress tests rely on.
+
+Locking: the manager adds no locks of its own.  Worker threads only run
+queries, which take the read side of the database's
+:class:`~repro.server.locks.ReadWriteLock`; all shared recycle-pool
+mutation happens behind ``Recycler.lock`` (see the
+:mod:`repro.server.session` docstring and ``docs/ARCHITECTURE.md`` for
+the full contract).  The per-slot ``outcomes`` list is race-free by
+construction: each worker writes only the indices it owns.
 """
 
 from __future__ import annotations
@@ -45,6 +53,7 @@ class QueryOutcome:
     seconds: float
     hits: int
     marked: int
+    hits_promoted: int = 0
     value: Any = None
     error: Optional[BaseException] = None
 
@@ -157,6 +166,7 @@ class SessionManager:
                         seconds=time.perf_counter() - t0,
                         hits=r.stats.hits,
                         marked=r.stats.n_marked,
+                        hits_promoted=r.stats.hits_promoted,
                         value=r.value if collect_values else None,
                     )
                 except Exception as exc:

@@ -8,8 +8,25 @@ template caches and recycler of the owning
 intermediate admitted by one session's invocation is a *global* hit when
 any other session matches it (§3.3's local/global distinction).
 
-Every query a session runs takes the database's read lock, so updates
-(which take the write side) never interleave with a running plan.
+Locking contract (see also ``docs/ARCHITECTURE.md``):
+
+* **Queries take the read side** of the database's
+  :class:`~repro.server.locks.ReadWriteLock` — both
+  :meth:`Session.execute` and :meth:`Session.run_template` hold it for
+  the whole invocation, so a plan sees one consistent snapshot of
+  column versions.
+* **DML/DDL take the write side** (through the
+  :class:`~repro.db.Database` facade; sessions issue queries only), so
+  update invalidation never interleaves with a running plan.
+* **All recycle-pool state sits behind ``Recycler.lock``** — sessions
+  never touch the pool directly; the interpreter enters the lock only
+  for Algorithm 1 bookkeeping, and the two-tier pool's demotions and
+  promotions happen inside it as well.  Operator execution overlaps
+  freely across sessions.
+
+Sessions themselves are single-threaded (one per thread; they are
+cheap); the shared state they touch is protected by the locks above, so
+opening sessions concurrently is safe.
 """
 
 from __future__ import annotations
@@ -39,11 +56,14 @@ class SessionStats:
     hits: int = 0
     hits_exact: int = 0
     hits_subsumed: int = 0
+    #: Hits served from the disk tier (spilled entry promoted back).
+    hits_promoted: int = 0
     hits_local: int = 0
     hits_global: int = 0
     saved_time: float = 0.0
     admitted_entries: int = 0
     evicted_entries: int = 0
+    demoted_entries: int = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -58,11 +78,13 @@ class SessionStats:
         self.hits += stats.hits
         self.hits_exact += stats.hits_exact
         self.hits_subsumed += stats.hits_subsumed
+        self.hits_promoted += stats.hits_promoted
         self.hits_local += stats.hits_local
         self.hits_global += stats.hits_global
         self.saved_time += stats.saved_time
         self.admitted_entries += stats.admitted_entries
         self.evicted_entries += stats.evicted_entries
+        self.demoted_entries += stats.demoted_entries
 
 
 class Session:

@@ -10,6 +10,7 @@ delta structures (:mod:`repro.storage.deltas`).
 
 from repro.storage.bat import BAT, Dense, OID_DTYPE, column_length, column_values
 from repro.storage.catalog import Catalog, ColumnDef, TableDef
+from repro.storage.spill import SpillStore, SpilledStub
 from repro.storage.table import Table
 from repro.storage.deltas import DeltaStore
 
@@ -24,4 +25,6 @@ __all__ = [
     "TableDef",
     "Table",
     "DeltaStore",
+    "SpillStore",
+    "SpilledStub",
 ]

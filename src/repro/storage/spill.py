@@ -1,0 +1,380 @@
+"""The disk tier of the two-tier recycle pool.
+
+A :class:`SpillStore` keeps *demoted* recycle-pool intermediates on disk:
+instead of destroying an eviction victim whose recomputation is dearer
+than a reload, the recycler serialises its BAT here and keeps a
+lightweight :class:`SpilledStub` in the pool.  A later match *promotes*
+the entry — the BAT is reloaded zero-copy via ``np.load(mmap_mode="r")``
+and the hit costs one file open instead of a recomputation.
+
+Layout: one spilled BAT is up to three files named by its lineage token —
+
+* ``bat-<token>.meta.json`` — lineage + shape metadata
+  (:meth:`repro.storage.bat.BAT.spill_meta`).  Written *last*, so its
+  presence is the commit marker of an atomic write.
+* ``bat-<token>.head.npy`` / ``bat-<token>.tail.npy`` — the column
+  arrays.  Dense (void) columns are encoded in the metadata and have no
+  array file.
+
+Every store owns a private run directory
+``<spill_dir>/run-<pid>-<seq>``, so several databases — or several
+processes — may share one configured ``spill_dir`` without clobbering
+each other's files (lineage tokens restart per process, so a shared flat
+directory could silently serve one store's data for another's token).
+
+Every mutation is atomic (write-to-temp + ``os.replace``) and the store
+is corruption-tolerant: a failed or torn write never leaves a loadable
+half-entry, :meth:`load` turns any unreadable state into a
+:class:`~repro.errors.SpillError` (the recycler then drops the stub and
+recomputes), and construction reaps run directories whose owning process
+is gone — stale payloads are never served and crashed runs do not leak
+disk.
+
+Thread safety: the store itself is not locked; every call happens under
+the owning :class:`~repro.core.recycler.Recycler`'s lock, exactly like
+the in-memory :class:`~repro.core.pool.RecyclePool` (see the recycler
+module docstring for the contract).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import re
+import shutil
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import SpillError, SpillQuotaError
+from repro.storage.bat import BAT
+
+#: ``np.save`` header + filesystem slack assumed per array file when
+#: checking the quota before any bytes are written.
+_FILE_OVERHEAD = 128
+
+
+class SpilledStub:
+    """The in-pool placeholder for a demoted BAT.
+
+    Carries exactly the metadata the pool still needs while the data
+    lives on disk: the identity ``token`` (signature matching and the
+    dependency graph), ``sources`` (update invalidation, §6.4) and the
+    subset lineage (semijoin subsumption, §5.1).  It deliberately is
+    *not* a :class:`~repro.storage.bat.BAT` — code that needs the values
+    (delta propagation, operator execution) must promote first, and the
+    ``isinstance`` checks those paths already perform make them skip
+    stubs safely.
+    """
+
+    __slots__ = ("token", "sources", "subset_of", "subset_chain", "count",
+                 "persistent_name")
+
+    def __init__(self, token: int, sources: frozenset,
+                 subset_of: Optional[int], subset_chain: tuple,
+                 count: int, persistent_name: Optional[str] = None):
+        self.token = token
+        self.sources = sources
+        self.subset_of = subset_of
+        self.subset_chain = subset_chain
+        self.count = count
+        self.persistent_name = persistent_name
+
+    @classmethod
+    def of(cls, bat: BAT) -> "SpilledStub":
+        return cls(bat.token, bat.sources, bat.subset_of, bat.subset_chain,
+                   len(bat), bat.persistent_name)
+
+    def row_subset_of(self, token: int) -> bool:
+        """Same lineage-only subset test as :meth:`BAT.row_subset_of`."""
+        return token == self.subset_of or token in self.subset_chain
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return f"SpilledStub(token={self.token}, n={self.count})"
+
+
+_RUN_DIR_RE = re.compile(r"^run-(\d+)-\d+$")
+
+
+class SpillStore:
+    """Token-keyed on-disk store of serialised BATs with a byte quota."""
+
+    #: Distinguishes stores of one process sharing a base directory.
+    _run_seq = itertools.count(1)
+
+    def __init__(self, directory: str,
+                 limit_bytes: Optional[int] = None):
+        self.base_directory = directory
+        self.limit_bytes = limit_bytes
+        #: token -> total on-disk bytes of that entry's files.
+        self._files: Dict[int, int] = {}
+        self.total_bytes = 0
+        os.makedirs(directory, exist_ok=True)
+        self.recovered = self._recover()
+        #: This store's private run directory (see the module docstring).
+        self.directory = os.path.join(
+            directory, f"run-{os.getpid()}-{next(self._run_seq)}"
+        )
+        os.makedirs(self.directory, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def _meta_path(self, token: int) -> str:
+        return os.path.join(self.directory, f"bat-{token}.meta.json")
+
+    def _col_path(self, token: int, part: str) -> str:
+        return os.path.join(self.directory, f"bat-{token}.{part}.npy")
+
+    def _entry_paths(self, token: int) -> List[str]:
+        return [
+            self._col_path(token, "head"),
+            self._col_path(token, "tail"),
+            self._meta_path(token),
+        ]
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def _recover(self) -> int:
+        """Reap leftovers in the base directory, returning the count.
+
+        Run directories whose owning process is gone are crash leftovers
+        — the pool they served died with the process, so their contents
+        are unreachable by construction and only leak disk.  Live runs
+        (this process's other stores, or another process sharing the
+        base directory) are left strictly alone.  Loose ``bat-*``/
+        ``.tmp`` files in the base directory (never written by this
+        layout) are torn garbage and removed too.
+        """
+        removed = 0
+        for name in os.listdir(self.base_directory):
+            path = os.path.join(self.base_directory, name)
+            m = _RUN_DIR_RE.match(name)
+            if m is not None and os.path.isdir(path):
+                if not self._pid_alive(int(m.group(1))):
+                    shutil.rmtree(path, ignore_errors=True)
+                    removed += 1
+                continue
+            if name.startswith("bat-") or name.endswith(".tmp"):
+                try:
+                    os.remove(path)
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    @staticmethod
+    def _pid_alive(pid: int) -> bool:
+        if pid == os.getpid():
+            return True
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except (PermissionError, OverflowError):
+            return True  # exists (another user's), or unknowable: keep
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._files)
+
+    def has(self, token: int) -> bool:
+        return token in self._files
+
+    def tokens(self) -> List[int]:
+        return list(self._files)
+
+    def bytes_for(self, token: int) -> int:
+        return self._files.get(token, 0)
+
+    def room_for(self, nbytes: int) -> bool:
+        """Would an entry of roughly *nbytes* fit under the quota?"""
+        if self.limit_bytes is None:
+            return True
+        return self.total_bytes + nbytes + 3 * _FILE_OVERHEAD \
+            <= self.limit_bytes
+
+    @staticmethod
+    def projected_bytes(bat: BAT) -> int:
+        """Estimated on-disk size of spilling *bat*.
+
+        Counts the *materialised* column bytes, not ``owned_nbytes``: a
+        zero-cost view owns nothing in the pool's accounting but its
+        shared column arrays are written out in full.
+        """
+        size = _FILE_OVERHEAD  # metadata file
+        for col in (bat.head, bat.tail):
+            if isinstance(col, np.ndarray):
+                size += int(col.nbytes) + _FILE_OVERHEAD
+        return size
+
+    # ------------------------------------------------------------------
+    # Mutations (all under the recycler lock)
+    # ------------------------------------------------------------------
+    def write(self, bat: BAT) -> int:
+        """Serialise *bat*, returning the on-disk byte total.
+
+        Atomic per file (temp + ``os.replace``), with the metadata file
+        written last as the commit marker.  Raises
+        :class:`~repro.errors.SpillQuotaError` before writing anything
+        when the projected size cannot fit, and plain
+        :class:`~repro.errors.SpillError` for unspillable BATs or I/O
+        failures (partial files are cleaned up).
+        """
+        if not bat.spillable:
+            raise SpillError(
+                f"BAT token {bat.token} holds object-dtype columns"
+            )
+        meta = bat.spill_meta()
+        meta_blob = json.dumps(meta).encode()
+        arrays = {}
+        projected = len(meta_blob) + _FILE_OVERHEAD
+        for part in ("head", "tail"):
+            col = getattr(bat, part)
+            if isinstance(col, np.ndarray):
+                arrays[part] = col
+                projected += int(col.nbytes) + _FILE_OVERHEAD
+        budget = projected - self.bytes_for(bat.token)  # replace frees old
+        if self.limit_bytes is not None \
+                and self.total_bytes + budget > self.limit_bytes:
+            raise SpillQuotaError(
+                f"spilling {projected} bytes would exceed the "
+                f"{self.limit_bytes}-byte quota"
+            )
+        self.delete(bat.token)  # re-demotion replaces the old files
+        written = 0
+        try:
+            for part, arr in arrays.items():
+                path = self._col_path(bat.token, part)
+                tmp = path + ".tmp"
+                with open(tmp, "wb") as f:
+                    np.save(f, arr)
+                os.replace(tmp, path)
+                written += os.path.getsize(path)
+            meta_path = self._meta_path(bat.token)
+            tmp = meta_path + ".tmp"
+            with open(tmp, "wb") as f:
+                f.write(meta_blob)
+            os.replace(tmp, meta_path)
+            written += os.path.getsize(meta_path)
+        except OSError as exc:
+            self._remove_files(bat.token)
+            raise SpillError(
+                f"writing spill entry for token {bat.token}: {exc}"
+            ) from exc
+        self._files[bat.token] = written
+        self.total_bytes += written
+        return written
+
+    def load(self, token: int) -> BAT:
+        """Reload a spilled BAT, memory-mapping its column arrays.
+
+        The returned BAT carries the original token and lineage
+        (:meth:`BAT.from_spill`), so it drops back into the pool exactly
+        where the demoted one was.  Any missing/corrupt state raises
+        :class:`~repro.errors.SpillError`.
+        """
+        if token not in self._files:
+            raise SpillError(f"token {token} is not in the spill store")
+        try:
+            with open(self._meta_path(token), "rb") as f:
+                meta = json.loads(f.read().decode())
+            cols = {}
+            for part in ("head", "tail"):
+                if "dense" in meta[part]:
+                    cols[part] = None
+                    continue
+                arr = np.load(self._col_path(token, part), mmap_mode="r",
+                              allow_pickle=False)
+                if len(arr) != meta["count"]:
+                    raise SpillError(
+                        f"token {token}: {part} column has {len(arr)} "
+                        f"values, metadata says {meta['count']}"
+                    )
+                cols[part] = arr
+            bat = BAT.from_spill(meta, cols["head"], cols["tail"])
+        except SpillError:
+            raise
+        except Exception as exc:  # torn file, bad JSON, bad .npy magic …
+            raise SpillError(
+                f"loading spill entry for token {token}: {exc}"
+            ) from exc
+        if bat.token != token:
+            raise SpillError(
+                f"spill entry {token} carries metadata for {bat.token}"
+            )
+        return bat
+
+    def delete(self, token: int) -> None:
+        """Remove a spilled entry's files and accounting (missing is fine)."""
+        size = self._files.pop(token, None)
+        if size is not None:
+            self.total_bytes -= size
+        self._remove_files(token)
+
+    def _remove_files(self, token: int) -> None:
+        for path in self._entry_paths(token):
+            for victim in (path, path + ".tmp"):
+                try:
+                    os.remove(victim)
+                except OSError:
+                    pass
+
+    def clear(self) -> None:
+        for token in list(self._files):
+            self.delete(token)
+
+    # ------------------------------------------------------------------
+    def check(self) -> List[str]:
+        """Compare the accounting with the directory; return problems.
+
+        Used by :meth:`RecyclePool.check_invariants`: every tracked token
+        must have a committed metadata file, recorded sizes must match the
+        filesystem, and no untracked ``bat-*`` files may linger.
+        """
+        problems: List[str] = []
+        if sum(self._files.values()) != self.total_bytes:
+            problems.append(
+                f"spill byte accounting drift: recorded {self.total_bytes},"
+                f" recomputed {sum(self._files.values())}"
+            )
+        on_disk: Dict[int, int] = {}
+        for name in os.listdir(self.directory):
+            if not name.startswith("bat-"):
+                continue
+            if name.endswith(".tmp"):
+                problems.append(f"leftover temp file {name}")
+                continue
+            try:
+                token = int(name.split("-", 1)[1].split(".", 1)[0])
+            except ValueError:
+                problems.append(f"unparseable spill file {name}")
+                continue
+            path = os.path.join(self.directory, name)
+            on_disk[token] = on_disk.get(token, 0) + os.path.getsize(path)
+        for token, size in self._files.items():
+            if token not in on_disk:
+                problems.append(f"tracked token {token} has no files")
+            elif on_disk[token] != size:
+                problems.append(
+                    f"token {token}: recorded {size} bytes, "
+                    f"{on_disk[token]} on disk"
+                )
+        for token in on_disk:
+            if token not in self._files:
+                problems.append(f"orphan spill files for token {token}")
+        return problems
+
+    def __repr__(self) -> str:
+        return (
+            f"SpillStore({self.directory!r}, entries={len(self._files)}, "
+            f"bytes={self.total_bytes})"
+        )

@@ -12,6 +12,8 @@ in the pool would surface as a wrong result here.
 
 from __future__ import annotations
 
+import tempfile
+
 import numpy as np
 import pytest
 
@@ -42,6 +44,12 @@ def _dim_data(rng: np.random.Generator):
 
 def build_pair(seed: int, **recycler_kwargs):
     """Two databases with identical random data: recycled and naive."""
+    if recycler_kwargs.get("spill_dir") == "AUTO":
+        # A fresh directory per database — the two-tier pool demotes
+        # eviction victims here and promotes them back on later matches.
+        recycler_kwargs["spill_dir"] = tempfile.mkdtemp(
+            prefix="repro-diff-spill-"
+        )
     pair = []
     for kwargs in (dict(recycle=True, **recycler_kwargs),
                    dict(recycle=False)):
@@ -151,12 +159,16 @@ CONFIGS = [
     dict(max_entries=24),
     dict(max_bytes=200_000),
     dict(propagate_selects=True),
+    # Two-tier pool: a tight memory tier forces constant demotion, and
+    # re-matches promote — results must still be byte-exact.
+    dict(max_bytes=200_000, spill_dir="AUTO", spill_limit_bytes=4_000_000),
 ]
 
+CONFIG_IDS = ["default", "nosub", "entries24", "bytes200k", "propagate",
+              "spill200k"]
 
-@pytest.mark.parametrize("config", CONFIGS,
-                         ids=["default", "nosub", "entries24",
-                              "bytes200k", "propagate"])
+
+@pytest.mark.parametrize("config", CONFIGS, ids=CONFIG_IDS)
 def test_random_queries_differential(config):
     """300 random queries, no updates: recycled results never differ."""
     db_on, db_off = build_pair(seed=7, **config)
@@ -170,9 +182,7 @@ def test_random_queries_differential(config):
     db_on.recycler.check_invariants()
 
 
-@pytest.mark.parametrize("config", CONFIGS,
-                         ids=["default", "nosub", "entries24",
-                              "bytes200k", "propagate"])
+@pytest.mark.parametrize("config", CONFIGS, ids=CONFIG_IDS)
 def test_interleaved_updates_differential(config):
     """Rounds of queries with random DML in between: invalidation holds."""
     db_on, db_off = build_pair(seed=13, **config)
