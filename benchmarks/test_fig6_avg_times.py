@@ -2,9 +2,15 @@
 
 Expected shape (paper): large first-to-average drops for Q18 and Q19,
 modest for Q11, and near-parity (slight overhead) for Q14.
+
+Wall-clock ratios at millisecond scale flake under system load, so each
+query is timed over three repetitions (pool reset in between) and the
+*median* repetition is asserted — see docs/BENCHMARKS.md.
 """
 
 from __future__ import annotations
+
+import statistics
 
 from conftest import SF, make_tpch_db
 
@@ -12,6 +18,7 @@ from repro.bench import profile_template, render_table
 from repro.workloads.tpch import ParamGenerator
 
 QUERIES = ["q11", "q18", "q19", "q14"]
+REPETITIONS = 3
 
 
 def run_fig6():
@@ -21,15 +28,19 @@ def run_fig6():
         naive = make_tpch_db(recycle=False)
         pg = ParamGenerator(seed=33, sf=SF)
         params_list = [pg.params_for(name) for _ in range(10)]
-        rec = profile_template(db, name, params_list)
-        nav = profile_template(naive, name, params_list)
-        naive_avg = sum(p["seconds"] for p in nav) / len(nav)
-        rec_avg = sum(p["seconds"] for p in rec) / len(rec)
+        naive_avgs, rec_firsts, rec_avgs = [], [], []
+        for _rep in range(REPETITIONS):
+            db.reset_recycler()      # cold pool, hot data — every rep
+            rec = profile_template(db, name, params_list)
+            nav = profile_template(naive, name, params_list)
+            naive_avgs.append(sum(p["seconds"] for p in nav) / len(nav))
+            rec_firsts.append(rec[0]["seconds"])
+            rec_avgs.append(sum(p["seconds"] for p in rec) / len(rec))
         rows.append([
             name.upper(),
-            round(naive_avg * 1e3, 2),
-            round(rec[0]["seconds"] * 1e3, 2),
-            round(rec_avg * 1e3, 2),
+            round(statistics.median(naive_avgs) * 1e3, 2),
+            round(statistics.median(rec_firsts) * 1e3, 2),
+            round(statistics.median(rec_avgs) * 1e3, 2),
         ])
     return rows
 
@@ -38,7 +49,8 @@ def test_fig6_average_times(benchmark):
     rows = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
     print()
     print(render_table(
-        "Fig 6 — average query time over 10 instances (ms)",
+        "Fig 6 — average query time over 10 instances, median of "
+        f"{REPETITIONS} repetitions (ms)",
         ["query", "naive", "recycle first", "recycle avg"],
         rows,
     ))

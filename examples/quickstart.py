@@ -1,26 +1,28 @@
 """Quickstart: a recycled column-store in five minutes.
 
-Creates a small sales database, runs SQL through the template cache, and
-shows the recycler at work: exact reuse across repeated queries, reuse
-across *different constants* (query templates), and run-time subsumption
-for narrower ranges.
+Creates a small sales database through the DB-API 2.0 front-end, runs
+parametrised SQL through the template cache, and shows the recycler at
+work: exact reuse across repeated queries, reuse across *different
+parameters* (query templates), and run-time subsumption for narrower
+ranges.
 
 Run:  python examples/quickstart.py
 """
 
+import datetime
 import time
 
 import numpy as np
 
-from repro import Database
+import repro
 
 
 def main() -> None:
-    db = Database()  # recycler on: keepall admission, unlimited pool
-
+    # DB-API 2.0 entry point; recycler on, keepall admission, unlimited.
+    conn = repro.connect()
     rng = np.random.default_rng(1)
     n = 200_000
-    db.create_table(
+    conn.create_table(
         "sales",
         {
             "sale_id": "int64",
@@ -37,48 +39,52 @@ def main() -> None:
         },
     )
 
+    cur = conn.cursor()
     query = (
         "select region, count(*) as n, sum(amount) as total "
         "from sales "
-        "where sold_at >= date '2025-03-01' "
-        "and sold_at < date '2025-03-01' + interval '3' month "
+        "where sold_at >= ? "
+        "and sold_at < ? + interval '3' month "
         "group by region order by total desc"
     )
+    march = datetime.date(2025, 3, 1)
 
     print("== first execution (cold recycle pool) ==")
     t0 = time.perf_counter()
-    result = db.execute(query)
+    cur.execute(query, (march, march))
     cold = time.perf_counter() - t0
-    for row in result.value.rows():
-        print(f"  {row[0]:<6} n={row[1]:<6} total={row[2]:,.2f}")
+    for region, count, total in cur:
+        print(f"  {region:<6} n={count:<6} total={total:,.2f}")
     print(f"  time: {cold * 1e3:.2f} ms, pool hits: "
-          f"{result.stats.hits}/{result.stats.n_marked}")
+          f"{cur.stats.hits}/{cur.stats.n_marked}")
 
-    print("\n== identical query again (exact pool hits) ==")
+    print("\n== identical parameters again (exact pool hits) ==")
     t0 = time.perf_counter()
-    result = db.execute(query)
+    cur.execute(query, (march, march))
     hot = time.perf_counter() - t0
     print(f"  time: {hot * 1e3:.2f} ms "
           f"({cold / hot:.0f}x faster), hits: "
-          f"{result.stats.hits}/{result.stats.n_marked}")
+          f"{cur.stats.hits}/{cur.stats.n_marked}")
 
-    print("\n== same template, different constants ==")
-    r = db.execute(query.replace("2025-03-01", "2025-06-01"))
-    print(f"  hits: {r.stats.hits}/{r.stats.n_marked} "
+    print("\n== same statement, new parameters ==")
+    june = datetime.date(2025, 6, 1)
+    cur.execute(query, (june, june))
+    print(f"  hits: {cur.stats.hits}/{cur.stats.n_marked} "
           "(the parameter-independent prefix is reused)")
 
     print("\n== narrower range: answered by subsumption ==")
-    narrower = (
+    cur.execute(
         "select count(*) from sales "
-        "where sold_at >= date '2025-03-10' "
-        "and sold_at < date '2025-04-20'"
+        "where sold_at >= :lo and sold_at < :hi",
+        {"lo": datetime.date(2025, 3, 10),
+         "hi": datetime.date(2025, 4, 20)},
     )
-    r = db.execute(narrower)
-    print(f"  count={r.value.scalar()}, subsumed hits: "
-          f"{r.stats.hits_subsumed}")
+    print(f"  count={cur.fetchone()[0]}, subsumed hits: "
+          f"{cur.stats.hits_subsumed}")
 
     print("\n== recycle pool content ==")
-    print(db.recycler_report().render())
+    print(conn.database.recycler_report().render())
+    conn.close()
 
 
 if __name__ == "__main__":

@@ -2,16 +2,17 @@
 
 Simulates the astronomy portal the paper evaluates: a dominant spatial
 cone-search template with overlapping parameter sets, documentation-table
-lookups, and occasional point queries.  The recycler self-organises around
-the workload — no DBA, no materialised views — and narrower cone searches
-are answered by *subsuming* cached wider ones.
+lookups, and occasional point queries, driven through DB-API cursors.
+The recycler self-organises around the workload — no DBA, no
+materialised views — and narrower cone searches are answered by
+*subsuming* cached wider ones.
 
 Run:  python examples/skyserver_portal.py
 """
 
 import time
 
-from repro import Database
+import repro
 from repro.workloads.skyserver import (
     SkyQueryLog,
     build_sky_templates,
@@ -19,53 +20,61 @@ from repro.workloads.skyserver import (
 )
 
 
-def run_log(db, batch):
+def run_log(conn, batch):
+    cur = conn.cursor()
     t0 = time.perf_counter()
     hits = potential = subsumed = 0
     for qi in batch:
-        r = db.run_template(qi.template, qi.params)
-        hits += r.stats.hits
-        potential += r.stats.n_marked
-        subsumed += r.stats.hits_subsumed
+        cur.execute_template(qi.template, qi.params)
+        hits += cur.stats.hits
+        potential += cur.stats.n_marked
+        subsumed += cur.stats.hits_subsumed
     return time.perf_counter() - t0, hits, potential, subsumed
+
+
+def make_conn(**config):
+    conn = repro.connect(**config)
+    load_skyserver(conn.database, n_obj=100_000)
+    build_sky_templates(conn.database)
+    return conn
 
 
 def main() -> None:
     print("loading synthetic sky catalogue (100k objects) ...")
-    db = Database()
-    load_skyserver(db, n_obj=100_000)
-    build_sky_templates(db)
+    conn = make_conn()
+    naive = make_conn(recycle=False)
 
-    naive = Database(recycle=False)
-    load_skyserver(naive, n_obj=100_000)
-    build_sky_templates(naive)
-
-    spec_ids = db.catalog.table("elredshift").column_array("specobjid")
+    spec_ids = conn.database.catalog.table("elredshift") \
+        .column_array("specobjid")
     log = SkyQueryLog(spec_ids, seed=3)
     batch = log.sample(150)
 
     t_naive, *_ = run_log(naive, batch)
-    t_rec, hits, potential, subsumed = run_log(db, batch)
+    t_rec, hits, potential, subsumed = run_log(conn, batch)
 
-    print(f"\n150-query portal log")
+    print("\n150-query portal log")
     print(f"  naive:    {t_naive * 1e3:8.1f} ms")
     print(f"  recycled: {t_rec * 1e3:8.1f} ms  "
           f"({t_naive / t_rec:.1f}x faster)")
     print(f"  pool hits {hits}/{potential} = {hits / potential:.0%} "
           f"({subsumed} by subsumption)")
-    print(f"  pool size {db.pool_bytes / 1e6:.1f} MB, "
-          f"{db.pool_entries} entries")
+    print(f"  pool size {conn.database.pool_bytes / 1e6:.1f} MB, "
+          f"{conn.database.pool_entries} entries")
 
     print("\npool content by instruction kind (cf. paper Table III):")
-    print(db.recycler_report().render())
+    print(conn.database.recycler_report().render())
 
     print("\nzoom-in search (inside a cached cone -> range subsumption):")
+    cur = conn.cursor()
     t0 = time.perf_counter()
-    r = db.run_template("sky_nearby", {"ra": 195.05, "dec": 2.55,
-                                       "r": 0.2})
+    cur.execute_template("sky_nearby", {"ra": 195.05, "dec": 2.55,
+                                        "r": 0.2})
     dt = (time.perf_counter() - t0) * 1e3
-    print(f"  fGetNearbyObjEq(195.05, 2.55, 0.2): {len(r.value)} row(s) "
-          f"in {dt:.2f} ms, subsumed hits: {r.stats.hits_subsumed}")
+    print(f"  fGetNearbyObjEq(195.05, 2.55, 0.2): {cur.rowcount} row(s) "
+          f"in {dt:.2f} ms, subsumed hits: {cur.stats.hits_subsumed}")
+
+    conn.close()
+    naive.close()
 
 
 if __name__ == "__main__":

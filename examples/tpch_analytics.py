@@ -1,38 +1,47 @@
 """Decision-support analytics on TPC-H with and without the recycler.
 
 Reproduces the paper's headline behaviour (§7) on a laptop-scale TPC-H
-instance: a stream of template instances — some repeating, some with fresh
-parameters — runs dramatically faster once intermediates are recycled, and
-the adaptive credit policy keeps the pool lean without losing hits.
+instance through the DB-API front-end: a stream of template instances —
+some repeating, some with fresh parameters — runs dramatically faster
+once intermediates are recycled, and the adaptive credit policy keeps
+the pool lean without losing hits.
 
 Run:  python examples/tpch_analytics.py
 """
 
 import time
 
-from repro import AdaptiveCreditAdmission, Database
-from repro.workloads.tpch import ParamGenerator, build_templates, load_tpch
+import repro
+from repro import AdaptiveCreditAdmission
+from repro.bench import run_batch_cursor
+from repro.workloads.tpch import (
+    ParamGenerator,
+    build_templates,
+    load_tpch,
+    sql_instances,
+)
 
 SF = 0.01
 STREAM = ["q01", "q03", "q06", "q18", "q18", "q03", "q06", "q18", "q01",
           "q03", "q18", "q06"]
 
 
-def run_stream(db, instances):
+def run_stream(conn, instances):
+    cur = conn.cursor()
     t0 = time.perf_counter()
     hits = potential = 0
     for name, params in instances:
-        r = db.run_template(name, params)
-        hits += r.stats.hits
-        potential += r.stats.n_marked
+        cur.execute_template(name, params)
+        hits += cur.stats.hits
+        potential += cur.stats.n_marked
     return time.perf_counter() - t0, hits, potential
 
 
-def make_db(**kwargs):
-    db = Database(**kwargs)
-    load_tpch(db, sf=SF)
-    build_templates(db)
-    return db
+def make_conn(**config):
+    conn = repro.connect(**config)
+    load_tpch(conn.database, sf=SF)
+    build_templates(conn.database)
+    return conn
 
 
 def main() -> None:
@@ -46,31 +55,46 @@ def main() -> None:
         params = saved[name] if i % 2 == 0 else pg.params_for(name)
         instances.append((name, params))
 
-    naive = make_db(recycle=False)
+    naive = make_conn(recycle=False)
     t_naive, _h, _p = run_stream(naive, instances)
     print(f"naive (no recycler):      {t_naive * 1e3:7.1f} ms")
 
-    keepall = make_db()
+    keepall = make_conn()
     t_keep, hits, pot = run_stream(keepall, instances)
     print(f"recycler keepall:         {t_keep * 1e3:7.1f} ms  "
-          f"(hits {hits}/{pot}, pool {keepall.pool_bytes / 1e6:.1f} MB)")
+          f"(hits {hits}/{pot}, "
+          f"pool {keepall.database.pool_bytes / 1e6:.1f} MB)")
 
-    adapt = make_db(admission=AdaptiveCreditAdmission(credits=3))
+    adapt = make_conn(admission=AdaptiveCreditAdmission(credits=3))
     t_adapt, hits, pot = run_stream(adapt, instances)
     print(f"recycler adaptive credit: {t_adapt * 1e3:7.1f} ms  "
-          f"(hits {hits}/{pot}, pool {adapt.pool_bytes / 1e6:.1f} MB)")
+          f"(hits {hits}/{pot}, "
+          f"pool {adapt.database.pool_bytes / 1e6:.1f} MB)")
 
     print("\nper-kind pool content (keepall):")
-    print(keepall.recycler_report().render())
+    print(keepall.database.recycler_report().render())
 
     print("\nQ18 drill-down: the lineitem grouping is parameter-free, so")
     print("every new quantity threshold reuses it (paper Fig. 4b):")
+    cur = keepall.cursor()
     for qty in (260.0, 280.0, 300.0):
         t0 = time.perf_counter()
-        r = keepall.run_template("q18", {"quantity": qty})
+        cur.execute_template("q18", {"quantity": qty})
         dt = (time.perf_counter() - t0) * 1e3
-        print(f"  quantity > {qty:<6} -> {len(r.value)} orders, "
-              f"{dt:6.2f} ms, hit ratio {r.stats.hit_ratio:.0%}")
+        print(f"  quantity > {qty:<6} -> {cur.rowcount} orders, "
+              f"{dt:6.2f} ms, hit ratio {cur.stats.hit_ratio:.0%}")
+
+    print("\nprepared-statement batch (parameterized SQL, ':name' "
+          "placeholders):")
+    batch = sql_instances(n_instances_each=3, seed=42, sf=SF)
+    res = run_batch_cursor(keepall, [(sql, p) for _n, sql, p in batch])
+    print(f"  {len(res.records)} statements over "
+          f"{res.compile_misses} compiled plans — compile-cache hit "
+          f"rate {res.compile_hit_ratio:.0%}, "
+          f"recycler hit ratio {res.hit_ratio:.0%}")
+
+    for conn in (naive, keepall, adapt):
+        conn.close()
 
 
 if __name__ == "__main__":

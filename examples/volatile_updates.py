@@ -14,14 +14,14 @@ Run:  python examples/volatile_updates.py
 
 import numpy as np
 
-from repro import Database
+import repro
 
 
-def make_db(**kwargs) -> Database:
-    db = Database(**kwargs)
+def make_conn(**config) -> repro.Connection:
+    conn = repro.connect(**config)
     rng = np.random.default_rng(7)
     n = 100_000
-    db.create_table(
+    conn.create_table(
         "events",
         {"ts": "int64", "severity": "int64", "value": "float64"},
         {
@@ -30,40 +30,37 @@ def make_db(**kwargs) -> Database:
             "value": rng.random(n) * 1000,
         },
     )
-    q = db.builder("hot_events")
-    lo = q.param("severity_lo")
-    q.scan("events")
-    q.filter_range("events", "severity", lo=lo)
-    q.select_scalar("n", q.agg_scalar("count"))
-    db.register_template(q.build())
-    return db
+    return conn
 
 
-def stream(db, label: str) -> None:
+def stream(conn, label: str) -> None:
     print(f"\n== {label} ==")
     rng = np.random.default_rng(11)
+    cur = conn.cursor()
+    query = "select count(*) from events where severity >= ?"
     for step in range(6):
-        r = db.run_template("hot_events", {"severity_lo": 7})
-        print(f"  step {step}: count={r.value.scalar():>6}  "
-              f"hits {r.stats.hits}/{r.stats.n_marked}  "
-              f"pool {db.pool_entries} entries")
+        cur.execute(query, (7,))
+        print(f"  step {step}: count={cur.fetchone()[0]:>6}  "
+              f"hits {cur.stats.hits}/{cur.stats.n_marked}  "
+              f"pool {conn.database.pool_entries} entries")
         # Append a burst of fresh events between queries.
         k = 500
-        db.insert("events", {
+        conn.insert("events", {
             "ts": np.arange(k) + 10_000_000 * (step + 1),
             "severity": rng.integers(0, 10, k),
             "value": rng.random(k) * 1000,
         })
+    conn.close()
 
 
 def main() -> None:
     # Mode 1: immediate invalidation — every insert empties the affected
     # pool slice, so each query after an update starts cold again.
-    stream(make_db(), "immediate invalidation (paper §6.4)")
+    stream(make_conn(), "immediate invalidation (paper §6.4)")
 
     # Mode 2: append-only delta propagation — the cached selection is
     # refreshed from the insert delta and keeps answering with full hits.
-    stream(make_db(propagate_selects=True),
+    stream(make_conn(propagate_selects=True),
            "delta propagation extension (paper §6.3)")
 
     print("\nNote how propagation preserves hits across inserts, while")

@@ -7,15 +7,22 @@ interpreter harvests materialised intermediates into a self-organising
 recycle pool, with admission/eviction policies, instruction subsumption,
 and update invalidation.
 
-Quickstart::
+The primary API is DB-API 2.0 (PEP 249)::
 
-    from repro import Database
-    db = Database()                     # recycler enabled
-    db.create_table("t", {"x": "int64"}, {"x": range(1000)})
-    print(db.execute("select count(*) from t where x >= 500").value.scalar())
+    import repro
+
+    with repro.connect() as conn:       # recycler enabled
+        conn.create_table("t", {"x": "int64"}, {"x": range(1000)})
+        cur = conn.cursor()
+        cur.execute("select count(*) from t where x >= ?", (500,))
+        print(cur.fetchone()[0])
+
+Statements are parametrised templates (paper §2.2): re-executing with
+new parameters reuses the compiled plan, and the recycler serves every
+parameter-independent intermediate from the pool.  The engine underneath
+is :class:`repro.db.Database` — still available for embedded use.
 """
 
-from repro.db import Database
 from repro.core import (
     AdaptiveCreditAdmission,
     BenefitEviction,
@@ -25,6 +32,32 @@ from repro.core import (
     LruEviction,
     Recycler,
     RecyclerConfig,
+)
+from repro.db import (
+    CompileCacheStats,
+    Database,
+    PreparedStatement,
+    PreparedTemplate,
+)
+from repro.dbapi import (
+    Connection,
+    Cursor,
+    apilevel,
+    connect,
+    paramstyle,
+    threadsafety,
+)
+from repro.errors import (
+    DatabaseError,
+    DataError,
+    Error,
+    IntegrityError,
+    InterfaceError,
+    InternalError,
+    NotSupportedError,
+    OperationalError,
+    ProgrammingError,
+    Warning,
 )
 from repro.mal.interpreter import ExecutionStats, Interpreter, InvocationResult
 from repro.mal.operators import ResultSet
@@ -39,10 +72,31 @@ from repro.server import (
 )
 from repro.storage import BAT, Catalog, SpillStore
 
-__version__ = "1.2.0"
+__version__ = "2.0.0"
 
 __all__ = [
+    # DB-API 2.0 front-end
+    "connect",
+    "Connection",
+    "Cursor",
+    "apilevel",
+    "threadsafety",
+    "paramstyle",
+    "Warning",
+    "Error",
+    "InterfaceError",
+    "DatabaseError",
+    "DataError",
+    "OperationalError",
+    "IntegrityError",
+    "InternalError",
+    "ProgrammingError",
+    "NotSupportedError",
+    # Engine
     "Database",
+    "PreparedStatement",
+    "PreparedTemplate",
+    "CompileCacheStats",
     "Session",
     "SessionStats",
     "SessionManager",

@@ -15,6 +15,7 @@ from repro.bench.harness import (
     profile_template,
     run_batch,
     run_batch_concurrent,
+    run_batch_cursor,
     reused_entries,
     reused_memory,
     warm_up,
@@ -27,6 +28,7 @@ __all__ = [
     "QueryRecord",
     "SessionRecord",
     "run_batch_concurrent",
+    "run_batch_cursor",
     "fresh_tpch_db",
     "mixed_workload",
     "profile_template",

@@ -11,8 +11,6 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from repro.db import Database
 from repro.workloads.tpch import (
     MIXED_TEMPLATES,
@@ -51,6 +49,18 @@ class BatchResult:
     """Aggregate of one batch execution."""
 
     records: List[QueryRecord] = field(default_factory=list)
+    #: Compile-cache counters over the batch (prepared-statement runs):
+    #: executions that bound into an already-compiled plan vs. fresh
+    #: parse/plan work.  Zero for template-driven batches (templates are
+    #: pre-compiled by construction).
+    compile_hits: int = 0
+    compile_misses: int = 0
+
+    @property
+    def compile_hit_ratio(self) -> float:
+        """Fraction of executions with zero parse/plan work."""
+        total = self.compile_hits + self.compile_misses
+        return self.compile_hits / total if total else 0.0
 
     @property
     def total_seconds(self) -> float:
@@ -140,6 +150,45 @@ def run_batch(db: Database,
             hits_promoted=r.stats.hits_promoted,
             pool_spilled_bytes=db.pool_spilled_bytes,
         ))
+    return result
+
+
+def run_batch_cursor(connection,
+                     statements: Iterable[Tuple[str, Any]],
+                     cursor=None) -> BatchResult:
+    """Execute ``(sql, params)`` pairs through a DB-API cursor.
+
+    The prepared-statement counterpart of :func:`run_batch` for
+    workloads expressed as parametrised SQL instead of named templates:
+    each pair runs via :meth:`repro.dbapi.Cursor.execute` (sequence
+    params bind ``?``, mappings bind ``:name``), so the whole batch
+    flows through the template cache exactly as production client
+    traffic would.  The result carries the batch's compile-cache
+    counters — on a healthy parameterised workload every execution
+    after each template's first is a compile-cache hit
+    (``compile_hit_ratio`` near 1).
+    """
+    cur = cursor if cursor is not None else connection.cursor()
+    db = connection.database
+    before = db.compile_cache_stats
+    result = BatchResult()
+    for sql, params in statements:
+        t0 = time.perf_counter()
+        cur.execute(sql, params)
+        dt = time.perf_counter() - t0
+        result.records.append(QueryRecord(
+            template=cur.stats.template or sql[:40],
+            seconds=dt,
+            hits=cur.stats.hits,
+            marked=cur.stats.n_marked,
+            pool_bytes=db.pool_bytes,
+            pool_entries=db.pool_entries,
+            hits_promoted=cur.stats.hits_promoted,
+            pool_spilled_bytes=db.pool_spilled_bytes,
+        ))
+    after = db.compile_cache_stats
+    result.compile_hits = after.hits - before.hits
+    result.compile_misses = after.misses - before.misses
     return result
 
 

@@ -12,7 +12,6 @@
 
 from __future__ import annotations
 
-import math
 from typing import Dict, Tuple
 
 from repro.core.pool import RecycleEntry

@@ -16,7 +16,7 @@ the execution thread" strategy.
 
 from __future__ import annotations
 
-from typing import List, Set
+from typing import Set
 
 import numpy as np
 

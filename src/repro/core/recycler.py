@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -63,7 +63,7 @@ from repro.core.subsumption import (
     select_entry_range,
     split_target_into_segments,
 )
-from repro.errors import RecyclerError, SpillError
+from repro.errors import SpillError
 from repro.mal.program import Instr, MalProgram
 from repro.storage.bat import BAT
 from repro.storage.spill import SpillStore
@@ -783,6 +783,17 @@ class Recycler:
                 self.admission.on_evict(entry)
             self.totals.invalidations += len(removed)
             return len(removed)
+
+    def close(self) -> None:
+        """Empty the pool and tear down the spill store's run directory.
+
+        Called by :meth:`repro.db.Database.close`; idempotent, and the
+        pool invariants hold trivially afterwards (both tiers empty).
+        """
+        with self.lock:
+            self.recycle_reset()
+            if self.spill is not None:
+                self.spill.close()
 
     def check_invariants(self) -> None:
         """Verify pool accounting from scratch (tests/debug; takes the lock)."""

@@ -20,12 +20,11 @@ instruction to run over the (smaller) cached intermediate:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Tuple
 
-import numpy as np
 
-from repro.core.pool import RecycleEntry, RecyclePool
+from repro.core.pool import RecycleEntry
 from repro.storage.bat import BAT
 
 
@@ -74,7 +73,14 @@ def _hi_covers(outer: Range, inner: Range) -> bool:
 
 def covers(outer: Range, inner: Range) -> bool:
     """True when every value in *inner* is also in *outer*."""
-    return _lo_covers(outer, inner) and _hi_covers(outer, inner)
+    try:
+        return _lo_covers(outer, inner) and _hi_covers(outer, inner)
+    except TypeError:
+        # Unorderable bound types (a pool entry whose bounds are of a
+        # different kind than the probe's — e.g. admitted by a plan
+        # over differently-typed values).  Not a cover; the probe just
+        # recomputes from base.
+        return False
 
 
 def _separated(a: Range, b: Range) -> bool:
@@ -90,7 +96,11 @@ def _separated(a: Range, b: Range) -> bool:
 
 def connects(a: Range, b: Range) -> bool:
     """Ranges overlap or touch (their union is a single interval)."""
-    return not _separated(a, b) and not _separated(b, a)
+    try:
+        return not _separated(a, b) and not _separated(b, a)
+    except TypeError:
+        # Unorderable bound types never combine (see covers()).
+        return False
 
 
 def merge(a: Range, b: Range) -> Range:

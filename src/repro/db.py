@@ -1,15 +1,24 @@
-"""The database facade: catalogue + interpreter + recycler + template cache.
+"""The database engine: catalogue + interpreter + recycler + template cache.
 
-This is the user-facing entry point of the library::
+Since the DB-API front-end (:mod:`repro.dbapi`) became the primary
+surface, this facade is the *engine* underneath::
 
-    from repro import Database
-    db = Database()                      # recycler on, keepall/unlimited
-    db.create_table("t", {"k": "int64"}, {"k": range(10)})
-    result = db.execute("select count(*) from t where k >= 3")
+    import repro
+    with repro.connect() as conn:        # DB-API 2.0 entry point
+        conn.create_table("t", {"k": "int64"}, {"k": range(10)})
+        cur = conn.cursor()
+        cur.execute("select count(*) from t where k >= ?", (3,))
+
+``Database`` remains fully usable directly (and
+:meth:`Database.execute` is kept as a compatibility shim), but clients
+should normally reach it through :func:`repro.connect`.
 
 Queries compile once into parametrised *templates* (literals factored out,
 §2.2) cached by normalised text, so repeated queries — even with different
-constants — re-execute the same plan and exercise the recycler.
+constants — re-execute the same plan and exercise the recycler.  DB-API
+placeholders (``?`` / ``:name``) normalise to the same template key, so a
+prepared statement executed with fresh parameters binds straight into the
+cached template's parameters: :class:`PreparedStatement`.
 
 Concurrency: the facade is safe to share between threads.  Queries run
 under the shared side of a readers-writer lock, DML/DDL under the
@@ -23,8 +32,12 @@ drives a whole workload across many such sessions.
 
 from __future__ import annotations
 
+import contextlib
+import itertools
 import threading
 import time
+from collections import OrderedDict
+from dataclasses import dataclass
 from typing import (
     Any,
     Callable,
@@ -37,17 +50,252 @@ from typing import (
     Union,
 )
 
-from repro.core.admission import AdmissionPolicy, KeepAllAdmission
-from repro.core.eviction import EvictionPolicy, LruEviction
+from repro.core.admission import AdmissionPolicy
+from repro.core.eviction import EvictionPolicy
 from repro.core.invalidation import synchronize
 from repro.core.recycler import Recycler, RecyclerConfig
 from repro.core.stats import PoolReport, pool_report
-from repro.errors import CatalogError
+from repro.errors import CatalogError, InterfaceError, ProgrammingError
 from repro.mal.interpreter import Interpreter, InvocationResult
 from repro.mal.program import MalProgram
 from repro.rel.builder import QueryBuilder
 from repro.server.locks import ReadWriteLock
+from repro.sql.lexer import normalized_key, tokenize
+from repro.sql.params import (
+    bind_slot_values,
+    extract_slots,
+    tokens_with_values,
+)
 from repro.storage.catalog import Catalog, ColumnDef, TableDef
+
+
+@dataclass(frozen=True)
+class CompileCacheStats:
+    """Cumulative template-compilation cache counters (SQL statements).
+
+    One *hit* is an execution whose plan came from the cache (or from
+    the statement's own compiled reference) with zero parse/plan work;
+    one *miss* is a fresh compilation.  Template/builder executions are
+    pre-compiled by construction and are not counted.
+    """
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.total if self.total else 0.0
+
+
+def baked_free_positions(compiled) -> set:
+    """Literal reading-order positions a compiled plan parametrises.
+
+    Positions outside this set (LIMIT, OFFSET, substring bounds) are
+    *baked into* the plan at compile time: instances differing there
+    need different plans.
+    """
+    free = set()
+    for name in compiled.program.params:
+        if name.startswith("p") and name[1:].isdigit():
+            free.add(int(name[1:]))
+    for name, default in compiled.default_params.items():
+        if isinstance(default, tuple):
+            idx = int(name[1:])
+            free.update(range(idx, idx + len(default)))
+    return free
+
+
+def _baked_values(compiled, values: List[Any]) -> Tuple:
+    """The literal values a plan bakes in (its cache discriminator)."""
+    free = baked_free_positions(compiled)
+    return tuple(
+        (i, v) for i, v in enumerate(values) if i not in free
+    )
+
+
+def _kind_signature(values: List[Any]) -> Tuple[str, ...]:
+    """Kind (num/str/date) of every literal value, in reading order.
+
+    Plans are cached per kind signature as well as per baked values: a
+    plan compiled around one kind of values (and whose pool entries
+    carry bounds of that kind) must never serve a bind of another kind
+    — each signature gets its own variant, exactly as each
+    baked-literal tuple does.
+    """
+    from repro.sql.params import coerce_value
+
+    return tuple(coerce_value(v)[0] for v in values)
+
+
+class PreparedStatement:
+    """A tokenised, compile-once SQL statement with DB-API placeholders.
+
+    Obtained via :meth:`Database.prepare` (cursors do this implicitly and
+    cache by statement text).  The statement is tokenised once; the
+    template key is the literal-blanked token stream, so placeholders and
+    inline constants alias to the same cached plan.  Compilation happens
+    on the first :meth:`bind` (the first parameter set supplies the
+    default literal values the planner wants); every later bind only maps
+    values onto the existing template's parameters — the recycler sees
+    the same plan and serves the repeat from the pool.
+
+    Thread-safe: binding mutates nothing but the idempotent compiled
+    reference (the shared SQL cache resolves compile races first-wins).
+    """
+
+    def __init__(self, db: "Database", sql: str):
+        self.db = db
+        self.sql = sql
+        self.tokens = tokenize(sql)
+        self.slots, self.paramstyle = extract_slots(self.tokens)
+        self.key = normalized_key(self.tokens)
+        self._compiled: Optional[Any] = None
+
+    @property
+    def n_placeholders(self) -> int:
+        return sum(1 for kind, _ in self.slots if kind != "inline")
+
+    # ------------------------------------------------------------------
+    def _ensure_compiled(self, values: List[Any]):
+        """Compile (or fetch) the template, using *values* as defaults.
+
+        Plans are cached per *baked* literal values, not just per
+        normalised key: LIMIT/OFFSET and substring bounds are compiled
+        into the plan, so instances of one key that differ in those
+        positions must not share a plan (they would silently return the
+        first compilation's results).
+        """
+        sig = _kind_signature(values)
+        if self._compiled is not None and self._compiled.kind_sig == sig:
+            # Memoised fast path: one counter bump is the only shared
+            # state touched (the slow paths below count inside the lock
+            # sections they already hold).
+            self.db._note_compile(hit=True)
+            return self._compiled
+        compiled = self.db._cached_template(self.key, values, sig)
+        if compiled is None:
+            from repro.sql.planner import compile_tokens
+
+            tokens = tokens_with_values(self.tokens, self.slots, values)
+            # Compilation reads the catalogue: take the snapshot lock so
+            # concurrent DDL cannot mutate table definitions mid-plan.
+            with self.db.rwlock.read_locked():
+                fresh = compile_tokens(self.db.catalog, tokens, self.key)
+            compiled = self.db._cache_template(self.key, fresh, values,
+                                               sig)
+        self._check_placeholder_positions(compiled)
+        self._compiled = compiled
+        return compiled
+
+    def _check_placeholder_positions(self, compiled) -> None:
+        """Reject placeholders the template cannot actually parametrise.
+
+        LIMIT/OFFSET and substring bounds are compiled into the plan, so
+        a placeholder there would silently pin the first bound value for
+        every later execution — fail loudly instead.
+        """
+        allowed = baked_free_positions(compiled)
+        for position, (kind, _) in enumerate(self.slots):
+            if kind != "inline" and position not in allowed:
+                raise ProgrammingError(
+                    "placeholder binds to a non-parametrised position "
+                    f"(literal #{position}); LIMIT, OFFSET and substring "
+                    "bounds are compiled into the template"
+                )
+
+    # ------------------------------------------------------------------
+    def bind(self, params: Any = None) -> Dict[str, Any]:
+        """Template parameter bindings for one execution.
+
+        Placeholder statements take a sequence (qmark) or mapping
+        (named).  On a placeholder-free statement a mapping is applied as
+        raw template-parameter overrides — the pre-DB-API calling
+        convention, kept for compatibility.
+        """
+        if self.paramstyle is None and isinstance(params, Mapping) \
+                and params:
+            values = bind_slot_values(self.slots, None, None)
+            compiled = self._ensure_compiled(values)
+            return Database.bind_literals(compiled, values, dict(params))
+        values = bind_slot_values(self.slots, self.paramstyle, params)
+        compiled = self._ensure_compiled(values)
+        return Database.bind_literals(compiled, values)
+
+    @property
+    def program(self) -> MalProgram:
+        if self._compiled is None:
+            raise InterfaceError(
+                "statement is not compiled yet — bind() a parameter set"
+            )
+        return self._compiled.program
+
+    # ------------------------------------------------------------------
+    def run(self, params: Any = None,
+            interpreter: Optional[Interpreter] = None) -> InvocationResult:
+        """One compile→bind→run invocation of this statement.
+
+        The single execution pipeline every front door funnels into:
+        :meth:`Database.execute`, :meth:`Database.run_template` (via
+        :class:`PreparedTemplate`), builder programs, and the DB-API
+        cursors through their sessions.  Compilation happens on the
+        first bind only; *interpreter* selects whose execution state the
+        invocation uses (a session's, or the engine's default), and the
+        run holds the engine's read lock for the whole invocation.
+        """
+        bound = self.bind(params)
+        interp = interpreter if interpreter is not None \
+            else self.db.interpreter
+        with self.db.query_locked():
+            return interp.run(self.program, bound)
+
+    def __repr__(self) -> str:
+        return (
+            f"PreparedStatement({self.sql[:40]!r}, "
+            f"paramstyle={self.paramstyle}, "
+            f"placeholders={self.n_placeholders})"
+        )
+
+
+class PreparedTemplate(PreparedStatement):
+    """A pre-compiled template on the same bind→run pipeline.
+
+    Wraps a :class:`~repro.mal.program.MalProgram` — a registered named
+    template or a builder product — so the template execution path is
+    the *same* pipeline SQL statements use (:meth:`PreparedStatement.run`),
+    just with the compile step satisfied by construction.  Binding takes
+    a mapping of the program's parameter names.
+    """
+
+    def __init__(self, db: "Database", program: MalProgram):
+        self.db = db
+        self.sql = None
+        self.tokens = []
+        self.slots = []
+        self.paramstyle = None
+        self.key = f"template:{program.name}"
+        self._compiled = None
+        self._program = program
+
+    def bind(self, params: Any = None) -> Dict[str, Any]:
+        if params is None:
+            return {}
+        if not isinstance(params, Mapping):
+            raise ProgrammingError(
+                "compiled templates bind a mapping of parameter names, "
+                f"got {type(params).__name__}"
+            )
+        return dict(params)
+
+    @property
+    def program(self) -> MalProgram:
+        return self._program
+
+    def __repr__(self) -> str:
+        return f"PreparedTemplate({self._program.name!r})"
 
 
 class Database:
@@ -111,13 +359,50 @@ class Database:
                                        clock=clock)
         self.clock = clock
         self._templates: Dict[str, MalProgram] = {}
-        self._sql_cache: Dict[str, Any] = {}
-        #: Guards the template/SQL caches (compile races resolve first-wins).
+        #: normalised key -> list of plan variants (one per distinct
+        #: baked-literal tuple; see :meth:`_cached_template`).
+        self._sql_cache: Dict[str, List[Any]] = {}
+        self._prepared: "OrderedDict[str, PreparedStatement]" = \
+            OrderedDict()
+        #: Guards the template/SQL/prepared caches (compile races resolve
+        #: first-wins).
         self._cache_lock = threading.Lock()
+        #: Compile-cache counters (under ``_cache_lock``): executions
+        #: served without parse/plan work vs. fresh compilations.
+        self._compile_hits = 0
+        self._compile_misses = 0
         #: Queries hold the read side, DML/DDL the write side (see module
         #: docstring and :mod:`repro.server`).
         self.rwlock = ReadWriteLock()
-        self._session_seq = 0
+        #: Session IDs have their own atomic counter — the template-cache
+        #: lock is not involved (see the lock inventory in
+        #: ``docs/ARCHITECTURE.md``).
+        self._session_ids = itertools.count(1)
+        self._closed = False
+
+    def _check_open(self) -> None:
+        """Queries/DML on a closed engine must fail loudly: close() has
+        torn down the spill run directory, so continuing would fail
+        obscurely (or repopulate a pool nobody will clean up).
+
+        Query paths must ALSO re-check under the read lock
+        (:meth:`query_locked`): close() drains readers via the write
+        side, so only a check made *inside* the read lock is guaranteed
+        to precede the teardown."""
+        if self._closed:
+            raise InterfaceError("database is closed")
+
+    @contextlib.contextmanager
+    def query_locked(self):
+        """Context manager for running one query invocation.
+
+        Takes the read side of the engine's readers-writer lock and
+        re-checks the closed flag inside it, closing the window where
+        close() completes between a caller's early _check_open and its
+        lock acquisition (the torn-down engine must not execute)."""
+        with self.rwlock.read_locked():
+            self._check_open()
+            yield
 
     # ------------------------------------------------------------------
     # DDL
@@ -126,6 +411,7 @@ class Database:
                      data: Mapping[str, Sequence],
                      primary_key: Optional[str] = None):
         """Create a table from ``{column: dtype}`` plus column-wise data."""
+        self._check_open()
         tdef = TableDef(
             name,
             [ColumnDef(c, dt) for c, dt in columns.items()],
@@ -135,6 +421,7 @@ class Database:
             return self.catalog.create_table(tdef, data)
 
     def drop_table(self, name: str) -> None:
+        self._check_open()
         with self.rwlock.write_locked():
             self.catalog.drop_table(name)
             if self.recycler is not None:
@@ -151,12 +438,14 @@ class Database:
     # DML (update synchronisation per §6)
     # ------------------------------------------------------------------
     def insert(self, table: str, rows: Mapping[str, Sequence]) -> None:
+        self._check_open()
         with self.rwlock.write_locked():
             delta = self.catalog.insert(table, rows)
             if self.recycler is not None:
                 synchronize(self.recycler, self.catalog, delta)
 
     def delete_oids(self, table: str, oids: Sequence[int]) -> None:
+        self._check_open()
         with self.rwlock.write_locked():
             delta = self.catalog.delete_oids(table, oids)
             if self.recycler is not None:
@@ -164,6 +453,7 @@ class Database:
 
     def update_column(self, table: str, column: str, oids: Sequence[int],
                       values: Sequence) -> None:
+        self._check_open()
         with self.rwlock.write_locked():
             delta = self.catalog.update_column(table, column, oids, values)
             if self.recycler is not None:
@@ -193,71 +483,201 @@ class Database:
         with self._cache_lock:
             return name in self._templates
 
+    def prepare_template(self, template: Union[str, MalProgram]
+                         ) -> PreparedTemplate:
+        """Wrap a registered (or given) compiled template for execution.
+
+        The template analogue of :meth:`prepare`: the returned
+        :class:`PreparedTemplate` runs through the same
+        compile→bind→run pipeline as SQL statements, with the compile
+        step pre-satisfied.
+        """
+        self._check_open()
+        program = (
+            self.template(template) if isinstance(template, str) else template
+        )
+        return PreparedTemplate(self, program)
+
     def run_template(self, template: Union[str, MalProgram],
                      params: Optional[Dict[str, Any]] = None
                      ) -> InvocationResult:
         """Execute a cached (or given) template with parameter bindings."""
-        program = (
-            self.template(template) if isinstance(template, str) else template
-        )
-        with self.rwlock.read_locked():
-            return self.interpreter.run(program, params)
+        return self.prepare_template(template).run(params)
 
     # ------------------------------------------------------------------
     # SQL
     # ------------------------------------------------------------------
+    def _cached_template(self, key: str, values: List[Any],
+                         sig: Tuple[str, ...]) -> Optional[Any]:
+        """The cached plan for *key* matching *values*' baked literals
+        and kind signature.
+
+        One normalised key usually holds exactly one plan; keys with
+        non-parametrised literal positions (LIMIT/OFFSET/substring
+        bounds) hold one *variant* per distinct baked-value tuple, and
+        value-kind changes (a string where the compiling instance had a
+        number) select their own variant too — an instance never
+        silently runs a plan compiled for different baked constants or
+        differently-typed values.
+        """
+        with self._cache_lock:
+            variants = self._sql_cache.get(key)
+            if variants:
+                for compiled in variants:
+                    if compiled.kind_sig == sig and \
+                            _baked_values(compiled, values) == \
+                            compiled.baked_values:
+                        self._compile_hits += 1
+                        return compiled
+            return None
+
+    #: Bound on plan variants kept per normalised key.  Only statements
+    #: with *baked* literal positions (LIMIT/OFFSET/substring bounds)
+    #: ever grow past one variant; inline-literal paging loops would
+    #: otherwise accumulate a plan per distinct page bound.
+    VARIANTS_PER_KEY = 32
+
+    def _cache_template(self, key: str, compiled, values: List[Any],
+                        sig: Tuple[str, ...]):
+        """First-wins insert of a plan variant under its discriminators."""
+        compiled.baked_values = _baked_values(compiled, values)
+        compiled.kind_sig = sig
+        with self._cache_lock:
+            # The caller did real parse/plan work to get here (even if a
+            # concurrent compile won the insert race): count the miss
+            # under the lock already being taken for the insert.
+            self._compile_misses += 1
+            variants = self._sql_cache.setdefault(key, [])
+            for existing in variants:
+                if existing.kind_sig == sig and \
+                        existing.baked_values == compiled.baked_values:
+                    return existing
+            variants.append(compiled)
+            if len(variants) > self.VARIANTS_PER_KEY:
+                variants.pop(0)             # FIFO; recompiles are cheap
+            return compiled
+
+    def _note_compile(self, hit: bool) -> None:
+        """Counter bump for the memoised statement fast path.
+
+        The variant-cache paths count inside :meth:`_cached_template` /
+        :meth:`_cache_template` (under the lock they already hold); only
+        the fast path — no other shared state touched — pays this one
+        acquisition.
+        """
+        with self._cache_lock:
+            if hit:
+                self._compile_hits += 1
+            else:
+                self._compile_misses += 1
+
+    @property
+    def compile_cache_stats(self) -> CompileCacheStats:
+        """Cumulative compile-cache counters for SQL statements.
+
+        A *hit* means an execution bound into an already-compiled plan
+        (zero parse/plan work); a *miss* means the statement was parsed
+        and planned.  The bench harness reports the batch-level rate —
+        see :func:`repro.bench.harness.run_batch_cursor`.
+        """
+        with self._cache_lock:
+            return CompileCacheStats(self._compile_hits,
+                                     self._compile_misses)
+
+    #: Bound on the by-text prepared-statement cache.  Inline-literal
+    #: traffic produces one distinct text per literal set, so this layer
+    #: must not grow without bound (plans themselves are cached by
+    #: normalised key and are shared regardless).
+    PREPARED_CACHE_SIZE = 512
+
+    def prepare(self, sql: str) -> PreparedStatement:
+        """Tokenise *sql* once into a reusable :class:`PreparedStatement`.
+
+        Statements are cached by raw text (shared across sessions and
+        cursors) with LRU bounding, so repeated executions skip even the
+        tokeniser.
+        """
+        self._check_open()
+        with self._cache_lock:
+            stmt = self._prepared.get(sql)
+            if stmt is not None:
+                self._prepared.move_to_end(sql)
+        if stmt is None:
+            fresh = PreparedStatement(self, sql)
+            with self._cache_lock:
+                stmt = self._prepared.setdefault(sql, fresh)
+                self._prepared.move_to_end(sql)
+                while len(self._prepared) > self.PREPARED_CACHE_SIZE:
+                    self._prepared.popitem(last=False)
+        return stmt
+
     def compile_cached(self, sql: str) -> Tuple[Any, List[Any]]:
         """Normalise and compile *sql* with first-wins template caching.
 
         Returns the compiled query plus this instance's literal values;
         sessions share the cache, so any session's compilation serves all.
+        (Compatibility surface — new code should use :meth:`prepare`.)
         """
-        from repro.sql.planner import compile_sql, normalize_sql
-
-        key, literals = normalize_sql(sql)
-        with self._cache_lock:
-            compiled = self._sql_cache.get(key)
-        if compiled is None:
-            # Compilation reads the catalogue, so it needs the snapshot
-            # guarantee too — a concurrent DDL writer must not mutate
-            # table definitions mid-plan.
-            with self.rwlock.read_locked():
-                fresh = compile_sql(self, sql)
-            with self._cache_lock:
-                compiled = self._sql_cache.setdefault(key, fresh)
-        return compiled, literals
+        stmt = self.prepare(sql)
+        if stmt.paramstyle is not None:
+            raise ProgrammingError(
+                "compile_cached cannot bind placeholder statements; "
+                "use prepare()/cursors"
+            )
+        values = bind_slot_values(stmt.slots, None, None)
+        compiled = stmt._ensure_compiled(values)
+        return compiled, values
 
     @staticmethod
     def bind_literals(compiled, literals: List[Any],
                       params: Optional[Dict[str, Any]] = None
                       ) -> Dict[str, Any]:
-        """Bind one SQL instance's literals to its template's parameters."""
-        bound = {
-            name: literals[int(name[1:])]
-            for name in compiled.program.params
-            if name.startswith("p") and name[1:].isdigit()
-        }
+        """Bind one SQL instance's literals to its template's parameters.
+
+        Arity mismatches raise :class:`~repro.errors.ProgrammingError`:
+        a template compiled from ``k`` literals must be bound with
+        exactly the literals its parameters reference — IN-lists
+        included — never a silent partial slice.
+        """
+        bound = {}
+        for name in compiled.program.params:
+            if name.startswith("p") and name[1:].isdigit():
+                idx = int(name[1:])
+                if idx >= len(literals):
+                    raise ProgrammingError(
+                        f"template parameter {name} needs literal "
+                        f"#{idx} but only {len(literals)} literal(s) "
+                        "were supplied"
+                    )
+                bound[name] = literals[idx]
         # IN-lists bind the whole tuple to the first literal's parameter.
         for name, default in compiled.default_params.items():
             if isinstance(default, tuple) and name in bound:
                 idx = int(name[1:])
-                bound[name] = tuple(literals[idx:idx + len(default)])
+                values = tuple(literals[idx:idx + len(default)])
+                if len(values) != len(default):
+                    raise ProgrammingError(
+                        f"IN-list parameter {name} expects "
+                        f"{len(default)} value(s), got {len(values)}: "
+                        "the template's IN-list arity is fixed"
+                    )
+                bound[name] = values
         if params:
             bound.update(params)
         return bound
 
-    def execute(self, sql: str,
-                params: Optional[Dict[str, Any]] = None) -> InvocationResult:
-        """Compile (with template caching) and run a SQL query.
+    def execute(self, sql: str, params: Any = None) -> InvocationResult:
+        """Compile (with template caching) and run a SQL statement.
 
+        The compatibility shim over the DB-API machinery: *params* may
+        be a DB-API parameter set (sequence for ``?``, mapping for
+        ``:name``) or, on a placeholder-free statement, a mapping of raw
+        template-parameter overrides (the historical convention).
         Literal constants are factored out into template parameters; the
         same query shape with different constants reuses the compiled
         template — and, through the recycler, its intermediates.
         """
-        compiled, literals = self.compile_cached(sql)
-        bound = self.bind_literals(compiled, literals, params)
-        with self.rwlock.read_locked():
-            return self.interpreter.run(compiled.program, bound)
+        return self.prepare(sql).run(params)
 
     # ------------------------------------------------------------------
     # Sessions (multi-threaded execution; see repro.server)
@@ -270,10 +690,10 @@ class Database:
         """
         from repro.server.session import Session
 
-        with self._cache_lock:
-            self._session_seq += 1
-            sid = self._session_seq
-        return Session(self, session_id=sid, name=name)
+        self._check_open()
+        # itertools.count.__next__ is atomic in CPython — no lock, and in
+        # particular not the template-cache lock (its old double duty).
+        return Session(self, session_id=next(self._session_ids), name=name)
 
     def execute_concurrent(
         self,
@@ -301,6 +721,34 @@ class Database:
         ]
         return manager.run_concurrent(work, n_sessions=n_sessions,
                                       collect_values=collect_values)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release engine resources: empty the pool, tear down spill state.
+
+        With a two-tier pool this deletes every spill file and removes
+        the engine's private ``run-<pid>-<seq>`` directory under the
+        configured ``spill_dir``.  Idempotent; the DB-API
+        :class:`~repro.dbapi.Connection` calls it on exit when it owns
+        the engine.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        # Drain in-flight queries before teardown: they hold the read
+        # side of the rwlock for their whole invocation, so taking the
+        # write side here means no invocation can admit into (or demote
+        # out of) the pool while — or after — it is being torn down.
+        # New work fails fast on the _closed flag above.
+        with self.rwlock.write_locked():
+            if self.recycler is not None:
+                self.recycler.close()
 
     # ------------------------------------------------------------------
     # Recycler control / introspection

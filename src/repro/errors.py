@@ -4,6 +4,20 @@ Every error raised by the library derives from :class:`ReproError`, so
 applications can catch a single base class.  The sub-classes follow the
 layering of the system: storage, plan/interpreter, SQL front-end, and the
 recycler itself.
+
+The PEP 249 (DB-API 2.0) hierarchy is layered on top: :class:`Error` and
+its sub-classes are what the :mod:`repro.dbapi` front-end raises, and
+every engine error class is rebased onto the DB-API branch it belongs
+to (SQL/catalog mistakes → :class:`ProgrammingError`, storage and
+interpreter failures → :class:`OperationalError`, DML application →
+:class:`DataError`, library bugs → :class:`InternalError`), so client
+code written against the DB-API surface catches everything
+idiomatically::
+
+    try:
+        cur.execute("select * from nosuch where x > ?", (10,))
+    except repro.Error as exc:      # catches CatalogError too
+        ...
 """
 
 from __future__ import annotations
@@ -13,7 +27,50 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
 
-class StorageError(ReproError):
+# ----------------------------------------------------------------------
+# PEP 249 (DB-API 2.0) hierarchy
+# ----------------------------------------------------------------------
+class Warning(ReproError):  # noqa: A001 - name mandated by PEP 249
+    """Important warnings (PEP 249)."""
+
+
+class Error(ReproError):
+    """Base class of all DB-API errors (PEP 249)."""
+
+
+class InterfaceError(Error):
+    """Misuse of the database *interface*: closed handles, bad config."""
+
+
+class DatabaseError(Error):
+    """Errors related to the database itself."""
+
+
+class DataError(DatabaseError):
+    """Problems with the processed data (bad values, out of range)."""
+
+
+class OperationalError(DatabaseError):
+    """Errors outside the programmer's control (I/O, resources)."""
+
+
+class IntegrityError(DatabaseError):
+    """Relational integrity violations."""
+
+
+class InternalError(DatabaseError):
+    """The database ran into an internal inconsistency."""
+
+
+class ProgrammingError(DatabaseError):
+    """SQL mistakes: syntax errors, wrong parameter counts, bad names."""
+
+
+class NotSupportedError(DatabaseError):
+    """A requested feature is not supported by this engine."""
+
+
+class StorageError(OperationalError):
     """Errors raised by the BAT storage layer."""
 
 
@@ -29,20 +86,20 @@ class SpillQuotaError(SpillError):
     """Writing a BAT would exceed the spill store's byte quota."""
 
 
-class CatalogError(ReproError):
+class CatalogError(ProgrammingError):
     """Unknown schema objects, duplicate definitions, and the like."""
 
 
-class PlanError(ReproError):
+class PlanError(InternalError):
     """Malformed MAL programs: unknown opcodes, bad variable references."""
 
 
-class InterpreterError(ReproError):
+class InterpreterError(OperationalError):
     """Run-time failures during MAL plan interpretation."""
 
 
-class SqlError(ReproError):
-    """Base class for SQL front-end errors."""
+class SqlError(ProgrammingError):
+    """Base class for SQL front-end errors (a DB-API ProgrammingError)."""
 
 
 class SqlSyntaxError(SqlError):
@@ -53,9 +110,9 @@ class SqlBindError(SqlError):
     """Name resolution failed (unknown table/column/function)."""
 
 
-class RecyclerError(ReproError):
+class RecyclerError(InternalError):
     """Internal recycler failures (policy misconfiguration etc.)."""
 
 
-class UpdateError(ReproError):
+class UpdateError(DataError):
     """Errors while applying DML statements to tables."""

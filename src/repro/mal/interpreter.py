@@ -16,12 +16,12 @@ delegated to the :class:`~repro.core.recycler.Recycler` passed in.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import InterpreterError
 from repro.mal.operators import get_op
-from repro.mal.program import Const, Instr, MalProgram, VarRef
+from repro.mal.program import Instr, MalProgram, VarRef
 from repro.storage.catalog import Catalog
 
 

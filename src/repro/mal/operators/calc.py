@@ -9,12 +9,12 @@ they are *not* recyclable — the paper's optimiser never marks them (§3.1).
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 
 from repro.errors import InterpreterError
-from repro.storage.bat import BAT, Dense
+from repro.storage.bat import BAT
 from repro.mal.operators import register
 
 Operand = Union[BAT, int, float, str]

@@ -8,7 +8,7 @@ intermediates (§3.1).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, List, Sequence, Tuple
 
 import numpy as np
 
@@ -17,11 +17,21 @@ from repro.storage.bat import BAT
 from repro.mal.operators import register
 
 
+#: numpy dtype kind -> DB-API type code string (see ``docs/API.md``).
+_KIND_TO_TYPE = {
+    "i": "INTEGER", "u": "INTEGER", "b": "INTEGER",
+    "f": "FLOAT", "U": "STRING", "S": "STRING", "O": "STRING",
+    "M": "DATE", "m": "INTERVAL",
+}
+
+
 class ResultSet:
     """A query result: named columns of equal length.
 
-    Provides just enough of a DB-API-ish surface for tests, examples and
-    benchmarks: ``len``, ``column(name)``, ``rows()``, ``scalar()``.
+    The value side of the DB-API surface: ``len``, ``column(name)``,
+    ``rows()``, ``scalar()`` — and :attr:`description`, the PEP 249
+    7-tuple-per-column metadata the :class:`~repro.dbapi.Cursor`
+    re-exports.
     """
 
     def __init__(self, names: Sequence[str], columns: Sequence[np.ndarray]):
@@ -32,6 +42,20 @@ class ResultSet:
             raise InterpreterError(f"resultset: ragged columns {lengths}")
         self.names = list(names)
         self.columns = [np.asarray(c) for c in columns]
+
+    @property
+    def description(self) -> List[Tuple]:
+        """PEP 249 column metadata: ``(name, type_code, display_size,
+        internal_size, precision, scale, null_ok)`` per column, with
+        ``internal_size`` the dtype's item size and the unknowable
+        fields ``None``."""
+        out = []
+        for name, col in zip(self.names, self.columns):
+            dtype = col.dtype
+            type_code = _KIND_TO_TYPE.get(dtype.kind, dtype.str)
+            out.append((name, type_code, None, int(dtype.itemsize),
+                        None, None, None))
+        return out
 
     def __len__(self) -> int:
         return len(self.columns[0]) if self.columns else 0

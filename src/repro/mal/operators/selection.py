@@ -13,12 +13,12 @@ underlying BAT happens to be ordered").
 from __future__ import annotations
 
 import re
-from typing import Optional, Sequence, Tuple
+from typing import Tuple
 
 import numpy as np
 
 from repro.errors import BatTypeError
-from repro.storage.bat import BAT, column_values
+from repro.storage.bat import BAT
 from repro.mal.operators import register
 
 

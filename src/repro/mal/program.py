@@ -14,8 +14,8 @@ the recycler's design leans on the linear, interpretable form of MAL.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.errors import PlanError
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Union
 
 from repro.mal.program import MalProgram
@@ -36,10 +36,18 @@ if TYPE_CHECKING:
 
 @dataclass
 class WorkItem:
-    """One unit of workload: a template name (or program, or SQL) + params."""
+    """One unit of workload: a template name (or program, or SQL) + params.
+
+    With ``sql=True``, *params* follows the DB-API convention of
+    :meth:`repro.server.session.Session.execute`: a sequence binds
+    ``?`` placeholders, a mapping binds ``:name`` placeholders (or
+    overrides template parameters on a placeholder-free statement) — so
+    a concurrent workload can be expressed as one parametrised statement
+    plus rows of parameter sets.
+    """
 
     query: Union[str, MalProgram]
-    params: Optional[Dict[str, Any]] = None
+    params: Union[Dict[str, Any], Sequence[Any], None] = None
     sql: bool = False
 
 

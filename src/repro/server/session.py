@@ -31,8 +31,8 @@ opening sessions concurrently is safe.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Optional, Union
 
 from repro.mal.interpreter import (
     ExecutionStats,
@@ -110,38 +110,42 @@ class Session:
         self.closed = False
 
     # ------------------------------------------------------------------
-    def run_template(self, template: Union[str, MalProgram],
-                     params: Optional[Dict[str, Any]] = None
-                     ) -> InvocationResult:
-        """Run a registered (or given) template in this session."""
-        self._check_open()
-        program = (
-            self.db.template(template)
-            if isinstance(template, str) else template
-        )
+    def _run_statement(self, stmt, params: Any) -> InvocationResult:
+        """Drive one prepared statement through the shared pipeline.
+
+        Both session entry points end here: the statement's
+        :meth:`~repro.db.PreparedStatement.run` executes on *this*
+        session's interpreter (private execution state), and the
+        session's cumulative statistics absorb the invocation.
+        """
         try:
-            with self.db.rwlock.read_locked():
-                result = self.interpreter.run(program, params)
+            result = stmt.run(params, interpreter=self.interpreter)
         except Exception:
             self.stats.errors += 1
             raise
         self.stats.absorb(result.stats)
         return result
 
-    def execute(self, sql: str,
-                params: Optional[Dict[str, Any]] = None) -> InvocationResult:
-        """Compile (against the shared template cache) and run SQL."""
+    def run_template(self, template: Union[str, MalProgram],
+                     params: Optional[Dict[str, Any]] = None
+                     ) -> InvocationResult:
+        """Run a registered (or given) template in this session."""
         self._check_open()
-        compiled, literals = self.db.compile_cached(sql)
-        bound = self.db.bind_literals(compiled, literals, params)
-        try:
-            with self.db.rwlock.read_locked():
-                result = self.interpreter.run(compiled.program, bound)
-        except Exception:
-            self.stats.errors += 1
-            raise
-        self.stats.absorb(result.stats)
-        return result
+        return self._run_statement(self.db.prepare_template(template),
+                                   params)
+
+    def execute(self, sql: str, params: Any = None) -> InvocationResult:
+        """Compile (against the shared template cache) and run SQL.
+
+        *params* follows the DB-API convention: a sequence binds ``?``
+        placeholders, a mapping binds ``:name`` placeholders — and, on a
+        placeholder-free statement, a mapping is applied as raw
+        template-parameter overrides (the historical calling style).
+        Placeholder statements bind into the cached template without
+        re-compiling, so repeats hit the recycler.
+        """
+        self._check_open()
+        return self._run_statement(self.db.prepare(sql), params)
 
     # ------------------------------------------------------------------
     def close(self) -> None:

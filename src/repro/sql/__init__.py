@@ -8,9 +8,18 @@ HAVING, ORDER BY, LIMIT/OFFSET, plus ``date '...'`` and
 
 All literal constants are factored out into template parameters
 (paper §2.2), so textually different instances of the same query shape
-share one cached plan — the property recycling feeds on.
+share one cached plan — the property recycling feeds on.  DB-API
+placeholders (``?`` / ``:name``, see :mod:`repro.sql.params`) normalise
+to the same template key as inline literals, so parametrised statements
+bind straight into those template parameters without re-compiling.
 """
 
-from repro.sql.planner import CompiledQuery, compile_sql, normalize_sql
+from repro.sql.planner import (
+    CompiledQuery,
+    compile_sql,
+    compile_tokens,
+    normalize_sql,
+)
 
-__all__ = ["CompiledQuery", "compile_sql", "normalize_sql"]
+__all__ = ["CompiledQuery", "compile_sql", "compile_tokens",
+           "normalize_sql"]

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Any, List, Optional
+from typing import Any, List
 
 import numpy as np
 
@@ -27,6 +27,8 @@ _TOKEN_RE = re.compile(
     (?P<ws>\s+)
   | (?P<num>\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
   | (?P<str>'(?:[^']|'')*')
+  | (?P<qmark>\?)
+  | (?P<named>:[A-Za-z_][A-Za-z_0-9]*)
   | (?P<cmp><=|>=|<>|!=|=|<|>)
   | (?P<punct>[(),.*+\-/%])
   | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
@@ -40,8 +42,9 @@ class Token:
     """One lexical token.
 
     kind: ``kw`` (keyword), ``ident``, ``num``, ``str``, ``date``,
-    ``interval``, ``cmp``, ``punct``.
-    ``value`` holds the parsed literal for literal kinds.
+    ``interval``, ``cmp``, ``punct`` — plus the DB-API placeholder kinds
+    ``qmark`` (``?``) and ``named`` (``:name``, ``value`` holds the bare
+    name).  ``value`` holds the parsed literal for literal kinds.
     """
 
     kind: str
@@ -51,6 +54,11 @@ class Token:
     @property
     def is_literal(self) -> bool:
         return self.kind in ("num", "str", "date", "interval")
+
+    @property
+    def is_placeholder(self) -> bool:
+        """A DB-API parameter marker awaiting a bound value."""
+        return self.kind in ("qmark", "named")
 
 
 def _unquote(raw: str) -> str:
@@ -77,6 +85,10 @@ def tokenize(sql: str) -> List[Token]:
             raw.append(Token("num", text, value))
         elif m.lastgroup == "str":
             raw.append(Token("str", text, _unquote(text)))
+        elif m.lastgroup == "qmark":
+            raw.append(Token("qmark", text))
+        elif m.lastgroup == "named":
+            raw.append(Token("named", text, text[1:]))
         elif m.lastgroup == "cmp":
             raw.append(Token("cmp", text))
         elif m.lastgroup == "punct":
@@ -124,11 +136,13 @@ def normalized_key(tokens: List[Token]) -> str:
     """Template-cache key: the token stream with literals blanked out.
 
     Two queries differing only in literal constants share one key — the
-    paper's query-template factoring (§2.2).
+    paper's query-template factoring (§2.2).  DB-API placeholders blank
+    to the same ``?``, so ``where x > ?``, ``where x > :lo`` and
+    ``where x > 5`` are all instances of one template.
     """
     parts = []
     for tok in tokens:
-        if tok.is_literal:
+        if tok.is_literal or tok.is_placeholder:
             parts.append("?")
         elif tok.kind == "ident":
             parts.append(tok.text.lower())

@@ -14,7 +14,7 @@ inter-query reuse substrate of the recycler (§2.2, §7).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.errors import SqlBindError, SqlError
 from repro.mal.program import MalProgram, VarRef
@@ -25,6 +25,10 @@ from repro.sql.lexer import normalized_key, tokenize
 from repro.sql.parser import Parser
 
 AGGREGATES = {"count", "sum", "avg", "min", "max"}
+
+#: Literal kind (see :func:`repro.sql.params.coerce_value`) -> numpy
+#: dtype kinds it can compare against.
+_KIND_TO_DTYPE_KINDS = {"num": "iufb", "str": "USO", "date": "M"}
 
 _CMP_TO_RANGE = {
     "=": ("eq", None),
@@ -42,6 +46,15 @@ class CompiledQuery:
     key: str
     program: MalProgram
     default_params: Dict[str, Any]
+    #: Literal ``(position, value)`` pairs baked into the plan
+    #: (LIMIT/OFFSET/substring bounds) — the cache discriminator between
+    #: variants of one normalised key; set by the template cache.
+    baked_values: Optional[Tuple] = None
+    #: Kind (num/str/date) of every literal position of the compiling
+    #: instance — the second variant discriminator: a plan compiled
+    #: around one kind of values must not serve binds of another (set
+    #: by the template cache).
+    kind_sig: Optional[Tuple] = None
 
 
 def normalize_sql(sql: str) -> Tuple[str, List[Any]]:
@@ -55,14 +68,25 @@ def normalize_sql(sql: str) -> Tuple[str, List[Any]]:
     return normalized_key(tokens), values
 
 
-def compile_sql(db, sql: str) -> CompiledQuery:
-    """Parse, plan and optimise *sql* into a cached-ready template."""
-    tokens = tokenize(sql)
-    key = normalized_key(tokens)
-    select = Parser(tokens).parse_select()
-    planner = _Planner(db.catalog, select, name=f"sql:{key[:60]}")
+def compile_tokens(catalog, tokens, key: Optional[str] = None
+                   ) -> CompiledQuery:
+    """Plan and optimise an already-tokenised statement into a template.
+
+    The token stream must be fully literal (DB-API placeholders already
+    substituted — see :mod:`repro.sql.params`); *key* defaults to the
+    stream's normalised text.
+    """
+    if key is None:
+        key = normalized_key(tokens)
+    select = Parser(list(tokens)).parse_select()
+    planner = _Planner(catalog, select, name=f"sql:{key[:60]}")
     program, defaults = planner.plan()
     return CompiledQuery(key, program, defaults)
+
+
+def compile_sql(db, sql: str) -> CompiledQuery:
+    """Parse, plan and optimise *sql* into a cached-ready template."""
+    return compile_tokens(db.catalog, tokenize(sql))
 
 
 def _contains_aggregate(expr: ast.Expr) -> bool:
@@ -180,6 +204,58 @@ class _Planner:
         return owners[0], col.name
 
     # ------------------------------------------------------------------
+    # Literal/column type compatibility
+    # ------------------------------------------------------------------
+    def _check_cmp_kind(self, col: ast.Column, lit: ast.Expr) -> None:
+        """Reject comparing a column with a kind-incompatible literal.
+
+        A string bound on an int64 column (inline or placeholder) would
+        otherwise compile into the plan, cache a mis-kinded template
+        variant, and admit pool entries no later query can subsume
+        against — fail at plan time instead, where the catalogue knows
+        the column's dtype.
+        """
+        if not isinstance(lit, ast.Literal):
+            return
+        from repro.sql.params import coerce_value
+
+        kind = coerce_value(lit.value)[0]
+        alias, name = self._resolve(col)
+        table = self._alias_tables[alias]
+        dtype = self.catalog.table(table).column_array(name).dtype
+        if dtype.kind not in _KIND_TO_DTYPE_KINDS.get(kind, ""):
+            raise SqlBindError(
+                f"cannot compare column {name!r} (dtype {dtype}) with "
+                f"a {kind} literal"
+            )
+
+    def _check_pred_kinds(self, pred: ast.Predicate) -> None:
+        """Column-vs-literal kind checks for one predicate."""
+        if isinstance(pred, ast.Cmp):
+            if isinstance(pred.left, ast.Column):
+                self._check_cmp_kind(pred.left, pred.right)
+            if isinstance(pred.right, ast.Column):
+                self._check_cmp_kind(pred.right, pred.left)
+        elif isinstance(pred, ast.Between):
+            if isinstance(pred.expr, ast.Column):
+                self._check_cmp_kind(pred.expr, pred.lo)
+                self._check_cmp_kind(pred.expr, pred.hi)
+        elif isinstance(pred, ast.InList):
+            if isinstance(pred.expr, ast.Column):
+                for value in pred.values:
+                    self._check_cmp_kind(pred.expr, value)
+        elif isinstance(pred, ast.Like):
+            if isinstance(pred.expr, ast.Column):
+                alias, name = self._resolve(pred.expr)
+                table = self._alias_tables[alias]
+                dtype = self.catalog.table(table).column_array(name).dtype
+                if dtype.kind not in "USO":
+                    raise SqlBindError(
+                        f"LIKE needs a string column, {name!r} has "
+                        f"dtype {dtype}"
+                    )
+
+    # ------------------------------------------------------------------
     # Literals -> template parameters
     # ------------------------------------------------------------------
     def _param(self, lit: Union[ast.Literal, ast.IntervalLit]) -> VarRef:
@@ -254,6 +330,7 @@ class _Planner:
         return alias
 
     def _apply_base_filter(self, alias: str, pred: ast.Predicate) -> None:
+        self._check_pred_kinds(pred)
         if isinstance(pred, ast.Cmp):
             column = pred.left.name
             bound = self._scalar(pred.right)
@@ -357,6 +434,7 @@ class _Planner:
         return self._row_expr(expr)
 
     def _row_mask(self, pred: ast.Predicate) -> RelExpr:
+        self._check_pred_kinds(pred)
         if isinstance(pred, ast.Cmp):
             op = {"=": "eq", "<>": "ne", "<": "lt", "<=": "le",
                   ">": "gt", ">=": "ge"}[pred.op]

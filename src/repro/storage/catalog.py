@@ -9,7 +9,7 @@ are rebuilt lazily whenever either side of the constraint changes version.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np

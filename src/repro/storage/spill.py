@@ -332,6 +332,16 @@ class SpillStore:
         for token in list(self._files):
             self.delete(token)
 
+    def close(self) -> None:
+        """Delete every spill file and this store's private run directory.
+
+        Only the ``run-<pid>-<seq>`` directory owned by this store is
+        removed — other stores (or processes) sharing the configured base
+        directory are untouched.  Idempotent.
+        """
+        self.clear()
+        shutil.rmtree(self.directory, ignore_errors=True)
+
     # ------------------------------------------------------------------
     def check(self) -> List[str]:
         """Compare the accounting with the directory; return problems.

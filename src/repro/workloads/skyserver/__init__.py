@@ -11,6 +11,7 @@ queries, ~2 % point queries).
 
 from repro.workloads.skyserver.generator import load_skyserver
 from repro.workloads.skyserver.workload import (
+    SKY_SQL,
     QueryInstance,
     SkyQueryLog,
     build_sky_templates,
@@ -23,6 +24,7 @@ from repro.workloads.skyserver.microbench import (
 
 __all__ = [
     "load_skyserver",
+    "SKY_SQL",
     "QueryInstance",
     "SkyQueryLog",
     "build_sky_templates",

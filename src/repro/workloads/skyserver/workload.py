@@ -96,12 +96,50 @@ def build_sky_templates(db: Database) -> Dict[str, MalProgram]:
     return templates
 
 
+#: Parameterized SQL forms of the three templates (``:name``
+#: placeholders) — the DB-API front door's way to issue the same
+#: workload.  The spatial statement lowers ``fGetNearbyObjEq`` exactly
+#: like the builder template: a bounding-box range selection (the
+#: recycler's subsumption target) followed by the exact circle test.
+SKY_SQL: Dict[str, str] = {
+    "sky_nearby": (
+        "select ra, dec, "
+        "(ra - :ra) * (ra - :ra) + (dec - :dec) * (dec - :dec) as dist2, "
+        "objid, run, rerun, camcol, field, obj, type, "
+        "flags, status, psfmag_u, psfmag_g, psfmag_r, psfmag_i, "
+        "psfmag_z, petror50_r, specobjid "
+        "from photoobj where mode = 1 "
+        "and ra >= :ra - :r and ra <= :ra + :r "
+        "and dec >= :dec - :r and dec <= :dec + :r "
+        "and (ra - :ra) * (ra - :ra) + (dec - :dec) * (dec - :dec) "
+        "<= :r * :r limit 1"
+    ),
+    "sky_doc": (
+        "select name, type, description from dbobjects "
+        "where name = :name"
+    ),
+    "sky_point": (
+        "select specobjid, z, zerr, quality, restwave, ew "
+        "from elredshift where specobjid = :specobjid"
+    ),
+}
+
+
 @dataclass(frozen=True)
 class QueryInstance:
     """One sampled log entry: template name plus parameter bindings."""
 
     template: str
     params: Dict[str, Any]
+
+    def as_sql(self) -> Tuple[str, Dict[str, Any]]:
+        """This entry as a parameterized ``(sql, params)`` statement.
+
+        The parameter names of :data:`SKY_SQL` match the builder
+        templates', so the sampled bindings feed both execution paths
+        unchanged.
+        """
+        return SKY_SQL[self.template], dict(self.params)
 
 
 class SkyQueryLog:
@@ -168,6 +206,17 @@ class SkyQueryLog:
             else:
                 out.append(self._point())
         return out
+
+    def sample_sql(self, n: int) -> List[Tuple[str, Dict[str, Any]]]:
+        """Draw *n* log entries as parameterized ``(sql, params)`` pairs.
+
+        The prepared-statement form of :meth:`sample`, ready for
+        DB-API cursors or
+        :func:`repro.bench.harness.run_batch_cursor`: each class is one
+        statement text, so the whole log compiles three plans and every
+        later entry is a compile-cache hit.
+        """
+        return [qi.as_sql() for qi in self.sample(n)]
 
 
 def run_log_concurrent(db: Database, log: SkyQueryLog, n: int,

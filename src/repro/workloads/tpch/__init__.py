@@ -15,6 +15,12 @@ from repro.workloads.tpch.concurrent import (
     mixed_instances,
     run_mixed_concurrent,
 )
+from repro.workloads.tpch.statements import (
+    SQL_STATEMENTS,
+    SQL_TEMPLATES,
+    sql_instances,
+    statement_params,
+)
 
 __all__ = [
     "generate_tpch",
@@ -26,4 +32,8 @@ __all__ = [
     "MIXED_TEMPLATES",
     "mixed_instances",
     "run_mixed_concurrent",
+    "SQL_STATEMENTS",
+    "SQL_TEMPLATES",
+    "sql_instances",
+    "statement_params",
 ]

@@ -15,7 +15,7 @@ which is what the recycling experiments need.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

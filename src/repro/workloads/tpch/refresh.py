@@ -13,7 +13,7 @@ through the catalogue's delta machinery so the recycler synchronises
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

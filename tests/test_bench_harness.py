@@ -93,6 +93,43 @@ class TestRunBatch:
         assert reused_entries(naive) == 0
 
 
+class TestRunBatchCursor:
+    def test_cursor_batch_records_hits_and_compile_rate(self):
+        import repro
+        from repro.bench import run_batch_cursor
+
+        with repro.connect() as conn:
+            conn.create_table("t", {"x": "int64"},
+                              {"x": np.arange(1000)})
+            sql = "select count(*) from t where x >= ?"
+            result = run_batch_cursor(
+                conn, [(sql, (10,)), (sql, (10,)), (sql, (20,))]
+            )
+            assert len(result.records) == 3
+            # Exact repeat: full hits through the cursor path.
+            assert result.records[1].hits == result.records[1].marked > 0
+            assert result.hit_ratio > 0
+            # One compile, then pure compile-cache hits.
+            assert result.compile_misses == 1
+            assert result.compile_hits == 2
+            assert result.compile_hit_ratio == pytest.approx(2 / 3)
+
+    def test_compile_counters_are_batch_deltas(self):
+        import repro
+        from repro.bench import run_batch_cursor
+
+        with repro.connect() as conn:
+            conn.create_table("t", {"x": "int64"},
+                              {"x": np.arange(100)})
+            sql = "select count(*) from t where x >= ?"
+            run_batch_cursor(conn, [(sql, (1,))])
+            again = run_batch_cursor(conn, [(sql, (2,)), (sql, (3,))])
+            # The second batch's counters do not include the first's.
+            assert again.compile_misses == 0
+            assert again.compile_hits == 2
+            assert again.compile_hit_ratio == 1.0
+
+
 class TestRendering:
     def test_table_alignment(self):
         out = render_table("T", ["col", "value"],

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro import Database
 from repro.errors import PlanError
 
 

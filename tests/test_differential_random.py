@@ -17,7 +17,7 @@ import tempfile
 import numpy as np
 import pytest
 
-from repro import Database
+from repro import Database, connect
 
 N_FACT = 4000
 N_DIM = 40
@@ -75,41 +75,74 @@ def build_pair(seed: int, **recycler_kwargs):
 # Query generation: literals are drawn from small pools so the stream
 # produces exact repeats (pool hits) and nested ranges (subsumption).
 # ---------------------------------------------------------------------------
-def gen_query(rng: np.random.Generator) -> str:
+def gen_query_forms(rng: np.random.Generator):
+    """One random query in both forms: ``(inline_sql, qmark_sql, params)``.
+
+    The qmark form replaces every per-instance literal with ``?`` —
+    same template, DB-API calling convention — so a cursor driving the
+    parameterized form must agree with ``Database.execute`` on the
+    inline twin.
+    """
     lo = int(rng.choice([0, 100, 200, 300, 400, 500]))
     width = int(rng.choice([50, 150, 300, 600]))
     hi = lo + width
     shape = int(rng.integers(0, 7))
     if shape == 0:
-        return f"select count(*) from fact where a >= {lo} and a < {hi}"
+        return (
+            f"select count(*) from fact where a >= {lo} and a < {hi}",
+            "select count(*) from fact where a >= ? and a < ?",
+            (lo, hi),
+        )
     if shape == 1:
         return (
             f"select k, count(*) as n, sum(v) as t from fact "
-            f"where a between {lo} and {hi} group by k order by k"
+            f"where a between {lo} and {hi} group by k order by k",
+            "select k, count(*) as n, sum(v) as t from fact "
+            "where a between ? and ? group by k order by k",
+            (lo, hi),
         )
     if shape == 2:
         return (
             f"select d_cat, count(*) as n from fact, dim "
-            f"where k = d_key and a >= {lo} group by d_cat order by d_cat"
+            f"where k = d_key and a >= {lo} group by d_cat order by d_cat",
+            "select d_cat, count(*) as n from fact, dim "
+            "where k = d_key and a >= ? group by d_cat order by d_cat",
+            (lo,),
         )
     if shape == 3:
         prefix = str(rng.choice(["A", "B", "AA", "C"]))
-        return f"select count(*) from fact where s like '{prefix}%'"
+        return (
+            f"select count(*) from fact where s like '{prefix}%'",
+            "select count(*) from fact where s like ?",
+            (f"{prefix}%",),
+        )
     if shape == 4:
         ks = sorted(rng.choice(N_DIM, size=3, replace=False).tolist())
         in_list = ", ".join(str(k) for k in ks)
         return (
-            f"select count(*), sum(a) from fact where k in ({in_list})"
+            f"select count(*), sum(a) from fact where k in ({in_list})",
+            "select count(*), sum(a) from fact where k in (?, ?, ?)",
+            tuple(ks),
         )
     if shape == 5:
         return (
-            f"select distinct s from fact where a < {hi} order by s"
+            f"select distinct s from fact where a < {hi} order by s",
+            "select distinct s from fact where a < ? order by s",
+            (hi,),
         )
     return (
         f"select k, min(v), max(v) from fact "
         f"where a >= {lo} and a < {hi} and v >= 25.0 "
-        f"group by k order by k"
+        f"group by k order by k",
+        "select k, min(v), max(v) from fact "
+        "where a >= ? and a < ? and v >= 25.0 "
+        "group by k order by k",
+        (lo, hi),
     )
+
+
+def gen_query(rng: np.random.Generator) -> str:
+    return gen_query_forms(rng)[0]
 
 
 def gen_update(rng: np.random.Generator, db_on: Database, db_off: Database):
@@ -196,6 +229,43 @@ def test_interleaved_updates_differential(config):
             gen_update(rng, db_on, db_off)
         db_on.recycler.check_invariants()
     assert db_on.recycler.totals.invocations > 0
+
+
+#: DB-API cross-check configs: the default pool and the two-tier pool
+#: under constant demotion/promotion.
+DBAPI_CONFIGS = [
+    dict(),
+    dict(max_bytes=200_000, spill_dir="AUTO",
+         spill_limit_bytes=4_000_000),
+]
+
+
+@pytest.mark.parametrize("config", DBAPI_CONFIGS,
+                         ids=["default", "spill200k"])
+def test_dbapi_cursor_differential(config):
+    """Cursor.execute (parameterized) ≡ Database.execute (inline).
+
+    The same randomized workload runs twice: through a DB-API cursor
+    with ``?`` placeholders on the recycled database, and literal-inlined
+    through the naive database's facade.  Interleaved DML (applied to
+    both) checks §6 invalidation through the cursor path too.
+    """
+    db_on, db_off = build_pair(seed=31, **config)
+    cur = connect(database=db_on).cursor()
+    rng = np.random.default_rng(404)
+    for _round in range(6):
+        for _ in range(40):
+            inline, qmark, params = gen_query_forms(rng)
+            cur.execute(qmark, params)
+            assert_same_result(qmark, cur.result,
+                               db_off.execute(inline).value)
+        for _ in range(int(rng.integers(1, 3))):
+            gen_update(rng, db_on, db_off)
+        db_on.recycler.check_invariants()
+    assert db_on.recycler.totals.exact_hits > 0
+    # The parameterized stream compiled each template shape once: the
+    # compile cache served virtually every execution.
+    assert db_on.compile_cache_stats.hit_ratio > 0.9
 
 
 def test_drop_table_invalidates_differentially():

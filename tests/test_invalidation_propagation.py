@@ -1,7 +1,6 @@
 """Update synchronisation tests: invalidation (§6.4) and propagation (§6.3)."""
 
 import numpy as np
-import pytest
 
 from repro import Database
 

@@ -10,9 +10,6 @@ import pytest
 
 from repro import Database
 from repro.mal.optimizer import optimize
-from repro.mal.program import Const
-
-
 @pytest.fixture
 def db():
     d = Database()

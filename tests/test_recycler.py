@@ -1,13 +1,11 @@
 """Recycler run-time integration tests (Algorithm 1 behaviour)."""
 
 import numpy as np
-import pytest
 
 from repro import (
     BenefitEviction,
     CreditAdmission,
     Database,
-    KeepAllAdmission,
     LruEviction,
 )
 

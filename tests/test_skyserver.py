@@ -1,18 +1,14 @@
 """SkyServer workload tests: catalogue, templates, log mix, micro-bench."""
 
-import numpy as np
 import pytest
 
-from repro import Database
 from repro.workloads.skyserver import (
     SkyQueryLog,
     build_range_template,
     combined_subsumption_batch,
-    load_skyserver,
 )
 from repro.workloads.skyserver.generator import DOC_NAMES, RA_RANGE
 from repro.core.subsumption import Range, covers
-
 
 class TestGenerator:
     def test_row_counts(self, sky_db):
@@ -33,7 +29,6 @@ class TestGenerator:
         e = sky_db.catalog.table("elredshift")
         photo_spec = set(p.column_array("specobjid").tolist()) - {0}
         assert set(e.column_array("specobjid").tolist()) <= photo_spec
-
 
 class TestTemplates:
     def test_nearby_results_within_radius(self, sky_db):
@@ -83,7 +78,6 @@ class TestTemplates:
         assert len(r.value) >= 1
         assert r.value.column("specobjid")[0] == sid
 
-
 class TestQueryLog:
     def test_mix_proportions(self, sky_db):
         spec = sky_db.catalog.table("elredshift").column_array("specobjid")
@@ -114,7 +108,6 @@ class TestQueryLog:
             hits += r.stats.hits
             marked += r.stats.n_marked
         assert hits / marked > 0.5
-
 
 class TestCombinedSubsumptionBatch:
     def test_geometry_no_single_cover(self):

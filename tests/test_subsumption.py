@@ -15,8 +15,6 @@ from repro.core.subsumption import (
     merge,
     split_target_into_segments,
 )
-from repro.mal.program import Const
-from repro.mal.optimizer import optimize
 
 
 class TestRangeAlgebra:

@@ -16,7 +16,6 @@ import fnmatch
 from dataclasses import dataclass
 
 import numpy as np
-import pytest
 
 from repro.core.subsumption import (
     Range,
