@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Shard-scaling smoke benchmark: the mixed batch at 1..N sessions.
+
+Runs the §7.2 mixed TPC-H workload (``run_mixed_concurrent``) against a
+fresh database per thread count, over the sharded recycle pool, and
+writes the measured wall times and throughputs to ``BENCH_shards.json``.
+
+Each thread count gets its own cold database so the runs are
+comparable: every run admits, hits and evicts the same instance stream,
+only the number of concurrent sessions differs.
+
+CI mode: ``--enforce 8:1 --tolerance 0.75`` asserts that the 8-session
+throughput is at least 0.75x the 1-session throughput and exits
+non-zero otherwise — a scaling *smoke* check, not a speedup claim.  On
+a single-core host the GIL serialises the interpreter loops, so the
+honest expectation is parity (no lock-convoy collapse), not a 8x
+speedup; the JSON records ``cpu_count`` so numbers are read in context.
+
+Usage:
+    PYTHONPATH=src python scripts/bench_shards.py
+    PYTHONPATH=src python scripts/bench_shards.py \
+        --threads 1 8 --enforce 8:1 --tolerance 0.75 --out BENCH_shards.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+
+def run_one(n_sessions: int, n_instances_each: int, sf: float,
+            pool_shards: int, seed: int) -> dict:
+    from repro.bench.harness import fresh_tpch_db
+    from repro.workloads.tpch.concurrent import run_mixed_concurrent
+
+    db = fresh_tpch_db(sf=sf, pool_shards=pool_shards)
+    try:
+        res = run_mixed_concurrent(db, n_sessions=n_sessions,
+                                   n_instances_each=n_instances_each,
+                                   seed=seed, sf=sf)
+        if res.errors:
+            first = res.errors[0]
+            raise SystemExit(
+                f"run with {n_sessions} sessions had {len(res.errors)} "
+                f"errors; first: {first.template}: {first.error}")
+        db.recycler.check_invariants()
+        n_queries = len(res.outcomes)
+        return {
+            "sessions": n_sessions,
+            "queries": n_queries,
+            "wall_seconds": round(res.wall_seconds, 4),
+            "queries_per_second": round(n_queries / res.wall_seconds, 2),
+            "hit_ratio": round(res.hit_ratio, 4),
+            "pool_entries": len(db.recycler.pool),
+            "pool_shards": db.recycler.pool.n_shards,
+        }
+    finally:
+        db.close()
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--threads", type=int, nargs="+",
+                    default=[1, 2, 4, 8, 16],
+                    help="session counts to measure (default: 1 2 4 8 16)")
+    ap.add_argument("--instances", type=int, default=10,
+                    help="instances per mixed template (default: 10)")
+    ap.add_argument("--sf", type=float, default=0.01,
+                    help="TPC-H scale factor (default: 0.01)")
+    ap.add_argument("--shards", type=int, default=8,
+                    help="recycle-pool shard count (default: 8)")
+    ap.add_argument("--seed", type=int, default=77)
+    ap.add_argument("--out", default="BENCH_shards.json",
+                    help="output JSON path (default: BENCH_shards.json)")
+    ap.add_argument("--enforce", default=None, metavar="HIGH:BASE",
+                    help="fail unless throughput(HIGH sessions) >= "
+                         "tolerance * throughput(BASE sessions)")
+    ap.add_argument("--tolerance", type=float, default=0.75,
+                    help="regression tolerance factor for --enforce "
+                         "(default: 0.75)")
+    args = ap.parse_args(argv)
+
+    rows = []
+    for n in args.threads:
+        t0 = time.time()
+        row = run_one(n, args.instances, args.sf, args.shards, args.seed)
+        rows.append(row)
+        print(f"  {n:>2} sessions: {row['queries']} queries in "
+              f"{row['wall_seconds']:.2f}s "
+              f"({row['queries_per_second']:.1f} q/s, "
+              f"hit ratio {row['hit_ratio']:.2f}) "
+              f"[total {time.time() - t0:.1f}s incl. load]")
+
+    report = {
+        "benchmark": "mixed-workload shard scaling (run_mixed_concurrent)",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "pool_shards": args.shards,
+        "scale_factor": args.sf,
+        "instances_per_template": args.instances,
+        "note": ("Throughput on a single-core host is GIL-bound: the "
+                 "expectation is parity across session counts (no lock "
+                 "convoy), not linear speedup."),
+        "runs": rows,
+    }
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.out}")
+
+    if args.enforce:
+        hi_s, base_s = args.enforce.split(":")
+        hi, base = int(hi_s), int(base_s)
+        by_n = {r["sessions"]: r for r in rows}
+        if hi not in by_n or base not in by_n:
+            print(f"--enforce {args.enforce}: both counts must be in "
+                  f"--threads {sorted(by_n)}", file=sys.stderr)
+            return 2
+        hi_qps = by_n[hi]["queries_per_second"]
+        base_qps = by_n[base]["queries_per_second"]
+        floor = args.tolerance * base_qps
+        verdict = "ok" if hi_qps >= floor else "REGRESSION"
+        print(f"scaling check: {hi} sessions {hi_qps:.1f} q/s vs "
+              f"{base} sessions {base_qps:.1f} q/s "
+              f"(floor {floor:.1f}) -> {verdict}")
+        if hi_qps < floor:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

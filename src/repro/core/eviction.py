@@ -11,6 +11,14 @@ Two resource limits trigger cleaning (§4.3): the number of pool entries
 limit, the Benefit/History policies solve the complementary binary-knapsack
 problem with the classic greedy approximation (profit-per-unit-weight order
 plus the max-profit-item alternative, worst case within 2x of optimal).
+
+Degenerate frontiers: under byte pressure ``_by_need_bytes`` may return
+the *entire* leaf set while freeing zero bytes — every leaf a zero-byte
+view over a spilled (or shared) child.  Policies need not handle this;
+the recycler's sweep detects the no-progress round and falls back to
+entry-count eviction so the byte-carrying parents become reachable (the
+progress guarantee in ``Recycler._ensure_capacity_locked``, pinned by
+``tests/test_eviction_progress.py``).
 """
 
 from __future__ import annotations

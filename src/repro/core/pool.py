@@ -1,4 +1,4 @@
-"""The recycle pool: a cache of intermediates with instruction lineage.
+"""The recycle pool: a sharded cache of intermediates with lineage.
 
 Entries are keyed by *instruction signature* — operator name plus resolved
 argument identities (scalar constants by value, BAT arguments by lineage
@@ -20,18 +20,50 @@ without touching the signature index, the dependency graph or the
 subsumption buckets — a spilled entry still matches, still invalidates on
 updates, and still anchors its dependents.
 
-The pool itself is not thread-safe: in multi-session mode every call runs
-under the owning :class:`~repro.core.recycler.Recycler`'s lock (see the
-recycler module docstring for the full concurrency contract).
-:meth:`RecyclePool.check_invariants` recomputes all derived state from
-scratch — including per-tier byte accounting and the spill files backing
-every spilled entry — so tests can assert the incremental bookkeeping
-never drifts.
+Sharding
+--------
+The pool is split into ``n_shards`` independent shards, each guarded by
+its own re-entrant lock, so concurrent sessions doing exact lookups,
+admissions, and promotions on unrelated lineage no longer serialise on
+one global mutex.  Every shard plays two roles:
+
+* **Signature role** — the signature index (``by_sig``), the subsumption
+  buckets (``by_op_arg``), and the per-tier byte books for signatures
+  whose *home* is this shard.  A signature's home is its first BAT
+  argument's token modulo ``n_shards`` (falling back to ``hash(sig)`` for
+  constant-only signatures), which colocates an entry with the
+  subsumption bucket it lives in — the §5 candidate search is a
+  single-shard operation.
+* **Token role** — the token index (``by_token``) and the consumer books
+  (``consumers`` / ``spilled_consumers``) for result tokens congruent to
+  this shard's index, plus the leaf/demotable membership of the entries
+  producing those tokens.
+
+Both homes are *pure functions* of immutable entry fields (signature,
+result token, argument tokens), so the full lock set of any mutation —
+``{home(sig)} ∪ {home(result_token)} ∪ {home(t) for t in arg_tokens}``
+— is computable up front and acquired in ascending shard order.  There is
+no lock discovery, no retry, and with ``n_shards == 1`` the scheme
+degenerates to the previous single-lock pool.
+
+Cross-shard operations — eviction sweeps (``leaves`` / ``demotable``),
+invalidation scans (``stale_entries``), ``check_invariants``, ``clear``
+— take *all* shard locks in index order (a brief stop-the-world; see
+``docs/ARCHITECTURE.md``).  Aggregated candidate lists are ordered by a
+global admission sequence number so eviction tie-breaking is identical
+for every shard count.
+
+Mutating entry *statistics* (reuse counters, ``last_used``) is guarded by
+the entry's signature-home shard lock; the immutable identity fields may
+be read without any lock.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import itertools
+import operator
+import threading
+from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import RecyclerError
@@ -43,6 +75,13 @@ Signature = Tuple  # (opname, arg_id, arg_id, ...)
 #: Entry tier states.
 RESIDENT = "resident"
 SPILLED = "spilled"
+
+#: Global admission sequence — preserves pool-wide insertion order across
+#: shards so aggregated eviction-candidate lists are deterministic.
+_SEQ = itertools.count(1)
+
+#: Sort key for deterministic global admission order (entry.seq).
+_BY_SEQ = operator.attrgetter("seq")
 
 
 def arg_identity(value: Any) -> Tuple:
@@ -87,13 +126,19 @@ class RecycleEntry:
     dependents: int = 0              # pool entries consuming our result
     spilled_dependents: int = 0      # ... of which currently on disk
     state: str = RESIDENT            # RESIDENT (memory) or SPILLED (disk)
+    seq: int = field(default=0, compare=False)  # pool-wide admission order
+    # Shard-routing caches, set by the pool at admission time — pure
+    # functions of the identity fields, recomputed when a re-keyed entry
+    # is re-admitted (§6.3 refresh).  ``check_invariants`` verifies them.
+    home_idx: int = field(default=0, compare=False, repr=False)
+    leaf_idx: int = field(default=0, compare=False, repr=False)
+    rtoken: Optional[int] = field(default=None, compare=False, repr=False)
+    first_tok: Optional[int] = field(default=None, compare=False,
+                                     repr=False)
 
     @property
     def result_token(self) -> Optional[int]:
-        return (
-            self.value.token
-            if isinstance(self.value, (BAT, SpilledStub)) else None
-        )
+        return getattr(self.value, "token", None)
 
     @property
     def is_spilled(self) -> bool:
@@ -125,94 +170,286 @@ class RecycleEntry:
         return self.dependents == 0
 
 
-class RecyclePool:
-    """Signature-keyed store of :class:`RecycleEntry` with dependency counts."""
+class _Shard:
+    """One pool shard: a lock plus the books homed here (both roles)."""
+
+    __slots__ = (
+        "lock", "by_sig", "by_op_arg", "total_bytes", "spilled_bytes",
+        "by_token", "consumers", "spilled_consumers",
+        "leaf_sigs", "demotable_sigs",
+    )
 
     def __init__(self):
-        self._by_sig: Dict[Signature, RecycleEntry] = {}
-        self._by_token: Dict[int, RecycleEntry] = {}
-        # (opname, first BAT-arg token) -> entries, for subsumption search.
-        self._by_op_arg: Dict[Tuple[str, int], List[RecycleEntry]] = {}
-        # Incrementally maintained leaf set (entries with no dependents) —
-        # eviction consults this on every admission at the resource limit.
-        self._leaf_sigs: Set[Signature] = set()
-        # Demotion candidates: RESIDENT entries with no *resident*
-        # dependents (a superset of the resident leaves).  Byte-pressure
-        # eviction with a spill tier draws from this set, so a whole
-        # execution thread can follow its leaves to disk.
-        self._demotable_sigs: Set[Signature] = set()
+        self.lock = threading.RLock()
+        # --- signature role (home_sig(sig) == this shard) ---
+        self.by_sig: Dict[Signature, RecycleEntry] = {}
+        self.by_op_arg: Dict[Tuple[str, int], List[RecycleEntry]] = {}
+        self.total_bytes = 0
+        self.spilled_bytes = 0
+        # --- token role (token % n_shards == this shard) ---
+        self.by_token: Dict[int, RecycleEntry] = {}
         # arg-token -> number of pool entries consuming it.  Kept even for
         # tokens whose producer is not (or no longer) pooled: a persistent
         # bind result has a stable token, so its entry can be evicted and
         # re-admitted *after* consumers of that token — the re-admitted
         # entry must start with the surviving consumer count, not zero.
-        self._consumers: Dict[int, int] = {}
-        # arg-token -> number of SPILLED pool entries consuming it (the
-        # disk-tier slice of ``_consumers``; kept for the same
-        # absent-producer reason).
-        self._spilled_consumers: Dict[int, int] = {}
-        #: Memory-tier bytes: owned bytes of RESIDENT entries only.
-        self.total_bytes = 0
-        #: Disk-tier bytes: owned bytes of SPILLED entries (logical BAT
-        #: size; the store tracks actual file sizes for its quota).
-        self.spilled_bytes = 0
+        self.consumers: Dict[int, int] = {}
+        self.spilled_consumers: Dict[int, int] = {}
+        # Leaf/demotable membership of entries whose *result token* is
+        # homed here (signature home for tokenless entries) — guarded by
+        # this shard's lock together with those entries' dependent counts.
+        self.leaf_sigs: Dict[Signature, RecycleEntry] = {}
+        self.demotable_sigs: Dict[Signature, RecycleEntry] = {}
+
+
+class _LockScope:
+    """Reusable multi-shard lock scope: ascending acquire, reverse
+    release.  All member locks are re-entrant, so nesting scopes that
+    share shards (including under :meth:`RecyclePool.all_locked`) is
+    safe as long as the outermost acquisition respects index order."""
+
+    __slots__ = ("_locks",)
+
+    def __init__(self, locks):
+        self._locks = locks
+
+    def __enter__(self):
+        for lk in self._locks:
+            lk.acquire()
+
+    def __exit__(self, exc_type, exc, tb):
+        for lk in reversed(self._locks):
+            lk.release()
+        return False
+
+
+class RecyclePool:
+    """Sharded signature-keyed store of :class:`RecycleEntry`.
+
+    See the module docstring for the sharding and locking contract.  The
+    single-entry mutators (``add`` / ``remove`` / ``demote`` / ``promote``)
+    acquire their own entry lock sets and are safe to call concurrently;
+    the aggregate views take all shard locks.  All locks are re-entrant,
+    so callers already holding :meth:`all_locked` can use every method.
+    """
+
+    def __init__(self, n_shards: int = 1):
+        if n_shards < 1:
+            raise RecyclerError("pool needs at least one shard")
+        self.n_shards = n_shards
+        self._shards = [_Shard() for _ in range(n_shards)]
+        self._all_scope = _LockScope([s.lock for s in self._shards])
         #: The disk tier, attached by the recycler when spilling is
         #: configured; None keeps the classic single-tier behaviour.
+        #: The store is shared by all shards (it has its own lock).
         self.spill: Optional[SpillStore] = None
 
     # ------------------------------------------------------------------
+    # Shard homes (pure functions of immutable identity) and lock scopes
+    # ------------------------------------------------------------------
+    def _sig_home(self, sig: Signature) -> int:
+        first = self._first_bat_token(sig)
+        if first is not None:
+            return first % self.n_shards
+        return hash(sig) % self.n_shards
+
+    def _token_home(self, token: int) -> int:
+        return token % self.n_shards
+
+    def _leaf_shard(self, entry: RecycleEntry) -> _Shard:
+        return self._shards[entry.leaf_idx]
+
+    def _entry_lock_set(self, entry: RecycleEntry) -> List[int]:
+        n = self.n_shards
+        indices = {entry.home_idx, entry.leaf_idx}
+        for t in entry.arg_tokens:
+            indices.add(t % n)
+        return sorted(indices)
+
+    def _entry_scope(self, entry: RecycleEntry):
+        """Lock scope of the entry's mutation footprint.  The bare shard
+        RLock is returned directly when the footprint is a single shard —
+        the admit/evict churn under a tight limit runs through here, so
+        the common case skips the sort and the scope allocation."""
+        n = self.n_shards
+        indices = {entry.home_idx, entry.leaf_idx}
+        for t in entry.arg_tokens:
+            indices.add(t % n)
+        if len(indices) == 1:
+            return self._shards[indices.pop()].lock
+        return _LockScope([self._shards[i].lock for i in sorted(indices)])
+
+    def _locked(self, indices: Iterable[int]) -> "_LockScope":
+        return _LockScope([
+            self._shards[i].lock for i in sorted(set(indices))
+        ])
+
+    def sig_locked(self, sig: Signature):
+        """Lock scope of one signature's home shard (exact lookup,
+        subsumption search, entry-statistics updates)."""
+        return self._shards[self._sig_home(sig)].lock
+
+    def token_locked(self, token: int):
+        """Lock scope of one token's home shard."""
+        return self._shards[self._token_home(token)].lock
+
+    def entry_locked(self, entry: RecycleEntry):
+        """Full ordered lock set of one entry's mutation footprint."""
+        return self._entry_scope(entry)
+
+    def all_locked(self) -> "_LockScope":
+        """Every shard lock, in index order — the stop-the-world scope
+        for eviction sweeps, invalidation, reset, and invariant checks."""
+        return self._all_scope
+
+    # ------------------------------------------------------------------
+    # Aggregate accounting (sums over shards; exact under any lock that
+    # excludes concurrent mutation, advisory otherwise)
+    # ------------------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        """Memory-tier bytes: owned bytes of RESIDENT entries only."""
+        n = 0
+        for s in self._shards:
+            n += s.total_bytes
+        return n
+
+    @property
+    def spilled_bytes(self) -> int:
+        """Disk-tier bytes: owned bytes of SPILLED entries (logical BAT
+        size; the store tracks actual file sizes for its quota)."""
+        n = 0
+        for s in self._shards:
+            n += s.spilled_bytes
+        return n
+
     def __len__(self) -> int:
-        return len(self._by_sig)
+        n = 0
+        for s in self._shards:
+            n += len(s.by_sig)
+        return n
+
+    def usage(self) -> Tuple[int, int]:
+        """``(total_bytes, len(pool))`` in one pass over the shards —
+        the admission fits-check reads both on every recycleExit."""
+        b = n = 0
+        for s in self._shards:
+            b += s.total_bytes
+            n += len(s.by_sig)
+        return b, n
 
     def __contains__(self, sig: Signature) -> bool:
-        return sig in self._by_sig
+        return sig in self._shards[self._sig_home(sig)].by_sig
 
     def entries(self) -> List[RecycleEntry]:
-        return list(self._by_sig.values())
+        with self.all_locked():
+            out = [e for s in self._shards for e in s.by_sig.values()]
+        out.sort(key=_BY_SEQ)
+        return out
 
     def lookup(self, sig: Signature) -> Optional[RecycleEntry]:
-        return self._by_sig.get(sig)
+        shard = self._shards[self._sig_home(sig)]
+        with shard.lock:
+            return shard.by_sig.get(sig)
 
     def entry_for_token(self, token: int) -> Optional[RecycleEntry]:
-        return self._by_token.get(token)
+        shard = self._shards[self._token_home(token)]
+        with shard.lock:
+            return shard.by_token.get(token)
 
     def candidates(self, opname: str, first_token: int) -> List[RecycleEntry]:
         """Entries of *opname* whose first BAT argument is *first_token* —
-        the subsumption search space (§5)."""
-        return list(self._by_op_arg.get((opname, first_token), ()))
+        the subsumption search space (§5).  Shard-local: the bucket lives
+        in the first token's shard, which is also every member's
+        signature home."""
+        shard = self._shards[self._token_home(first_token)]
+        with shard.lock:
+            return list(shard.by_op_arg.get((opname, first_token), ()))
 
     # ------------------------------------------------------------------
     def add(self, entry: RecycleEntry) -> None:
-        if entry.sig in self._by_sig:
+        if not self._add(entry, if_absent=False):
             raise RecyclerError(f"duplicate pool entry for {entry.sig[0]}")
+
+    def add_if_absent(self, entry: RecycleEntry) -> bool:
+        """Race-safe admission: add *entry* unless its signature is
+        already pooled.  Returns True when the entry went in."""
+        return self._add(entry, if_absent=True)
+
+    def _add(self, entry: RecycleEntry, if_absent: bool) -> bool:
+        self._route(entry)
+        with self._entry_scope(entry):
+            return self._add_routed(entry, if_absent)
+
+    def _add_locked(self, entry: RecycleEntry) -> bool:
+        """:meth:`add_if_absent` for callers already holding all shard
+        locks (the recycler's limited-admission path)."""
+        self._route(entry)
+        return self._add_routed(entry, if_absent=True)
+
+    def _route(self, entry: RecycleEntry) -> None:
+        """Compute and cache the entry's shard routing — pure functions
+        of the identity fields; every later book operation reuses it."""
         if entry.is_spilled:
             raise RecyclerError("entries are admitted resident, not spilled")
-        self._by_sig[entry.sig] = entry
-        token = entry.result_token
-        if token is not None:
-            self._by_token[token] = entry
-            # Consumers admitted while our token had no pooled producer
-            # (possible for stable persistent-bind tokens) count from the
-            # start — otherwise their later removal drives us negative.
-            entry.dependents = self._consumers.get(token, 0)
-            entry.spilled_dependents = self._spilled_consumers.get(token, 0)
+        n = self.n_shards
         first = self._first_bat_token(entry.sig)
+        entry.home_idx = home_idx = (
+            first if first is not None else hash(entry.sig)
+        ) % n
+        token = getattr(entry.value, "token", None)
+        entry.leaf_idx = home_idx if token is None else token % n
+        entry.rtoken = token
+        entry.first_tok = first
+
+    def _add_routed(self, entry: RecycleEntry, if_absent: bool) -> bool:
+        n = self.n_shards
+        token = entry.rtoken
+        first = entry.first_tok
+        home = self._shards[entry.home_idx]
+        if entry.sig in home.by_sig:
+            if if_absent:
+                return False
+            raise RecyclerError(
+                f"duplicate pool entry for {entry.sig[0]}"
+            )
+        entry.seq = next(_SEQ)
+        home.by_sig[entry.sig] = entry
+        if token is not None:
+            tshard = self._shards[entry.leaf_idx]
+            tshard.by_token[token] = entry
+            # Consumers admitted while our token had no pooled producer
+            # (possible for stable persistent-bind tokens) count from
+            # the start — otherwise their later removal drives us
+            # negative.
+            entry.dependents = tshard.consumers.get(token, 0)
+            entry.spilled_dependents = \
+                tshard.spilled_consumers.get(token, 0)
         if first is not None:
-            self._by_op_arg.setdefault((entry.opname, first), []).append(entry)
+            home.by_op_arg.setdefault(
+                (entry.opname, first), []).append(entry)
         for t in entry.arg_tokens:
-            self._consumers[t] = self._consumers.get(t, 0) + 1
-            parent = self._by_token.get(t)
+            ts = self._shards[t % n]
+            ts.consumers[t] = ts.consumers.get(t, 0) + 1
+            parent = ts.by_token.get(t)
             if parent is not None:
                 parent.dependents += 1
-                self._leaf_sigs.discard(parent.sig)
+                ts.leaf_sigs.pop(parent.sig, None)
                 self._update_demotable(parent)
         if entry.dependents == 0:
-            self._leaf_sigs.add(entry.sig)
+            self._shards[entry.leaf_idx].leaf_sigs[entry.sig] = entry
         self._update_demotable(entry)
-        self.total_bytes += entry.nbytes
+        home.total_bytes += entry.nbytes
+        return True
 
     def remove(self, entry: RecycleEntry) -> None:
-        if entry.sig not in self._by_sig:
+        with self._entry_scope(entry):
+            self._remove_locked(entry)
+
+    def _remove_locked(self, entry: RecycleEntry) -> None:
+        """:meth:`remove` for callers already holding the entry's lock
+        set (the recycler's eviction sweep holds *all* shard locks)."""
+        if entry.sig not in self._shards[entry.home_idx].by_sig:
             return
         if entry.dependents:
             raise RecyclerError(
@@ -228,72 +465,94 @@ class RecyclePool:
         themselves stale (sources propagate through operators), so the set
         is closed under dependency and can be dropped wholesale.
         """
-        doomed = [e for e in doomed if e.sig in self._by_sig]
-        doomed_tokens = {e.result_token for e in doomed}
-        removed = 0
+        doomed = list(doomed)
+        indices: Set[int] = set()
         for e in doomed:
-            self._discard(e, skip_parent_tokens=doomed_tokens)
-            removed += 1
-        return removed
+            indices.update(self._entry_lock_set(e))
+        with self._locked(indices):
+            doomed = [
+                e for e in doomed
+                if e.sig in self._shards[e.home_idx].by_sig
+            ]
+            doomed_tokens = {e.rtoken for e in doomed}
+            removed = 0
+            for e in doomed:
+                self._discard(e, skip_parent_tokens=doomed_tokens)
+                removed += 1
+            return removed
+
+    def _present(self, entry: RecycleEntry) -> bool:
+        """Membership test valid under the entry's leaf-shard lock."""
+        token = entry.rtoken
+        if token is not None:
+            return self._shards[entry.leaf_idx] \
+                .by_token.get(token) is entry
+        return self._shards[entry.home_idx] \
+            .by_sig.get(entry.sig) is entry
 
     def _update_demotable(self, entry: RecycleEntry) -> None:
         """Re-derive one entry's membership in the demotable set."""
-        if (entry.sig in self._by_sig and not entry.is_spilled
-                and entry.resident_dependents == 0):
-            self._demotable_sigs.add(entry.sig)
+        shard = self._shards[entry.leaf_idx]
+        if (entry.state == RESIDENT
+                and entry.dependents == entry.spilled_dependents
+                and self._present(entry)):
+            shard.demotable_sigs[entry.sig] = entry
         else:
-            self._demotable_sigs.discard(entry.sig)
+            shard.demotable_sigs.pop(entry.sig, None)
 
     def _discard(self, entry: RecycleEntry,
                  skip_parent_tokens: Optional[Set[int]] = None) -> None:
-        del self._by_sig[entry.sig]
-        self._leaf_sigs.discard(entry.sig)
-        self._demotable_sigs.discard(entry.sig)
-        token = entry.result_token
+        home = self._shards[entry.home_idx]
+        del home.by_sig[entry.sig]
+        leaf_shard = self._shards[entry.leaf_idx]
+        leaf_shard.leaf_sigs.pop(entry.sig, None)
+        leaf_shard.demotable_sigs.pop(entry.sig, None)
+        token = entry.rtoken
         if token is not None:
-            self._by_token.pop(token, None)
-        first = self._first_bat_token(entry.sig)
+            self._shards[entry.leaf_idx].by_token.pop(token, None)
+        first = entry.first_tok
         if first is not None:
-            bucket = self._by_op_arg.get((entry.opname, first))
+            bucket = home.by_op_arg.get((entry.opname, first))
             if bucket is not None:
                 try:
                     bucket.remove(entry)
                 except ValueError:
                     pass
                 if not bucket:
-                    del self._by_op_arg[(entry.opname, first)]
+                    del home.by_op_arg[(entry.opname, first)]
         spilled = entry.is_spilled
         for t in entry.arg_tokens:
-            remaining = self._consumers.get(t, 0) - 1
+            ts = self._shards[self._token_home(t)]
+            remaining = ts.consumers.get(t, 0) - 1
             if remaining > 0:
-                self._consumers[t] = remaining
+                ts.consumers[t] = remaining
             else:
-                self._consumers.pop(t, None)
+                ts.consumers.pop(t, None)
             if spilled:
-                s_remaining = self._spilled_consumers.get(t, 0) - 1
+                s_remaining = ts.spilled_consumers.get(t, 0) - 1
                 if s_remaining > 0:
-                    self._spilled_consumers[t] = s_remaining
+                    ts.spilled_consumers[t] = s_remaining
                 else:
-                    self._spilled_consumers.pop(t, None)
+                    ts.spilled_consumers.pop(t, None)
             if skip_parent_tokens and t in skip_parent_tokens:
                 continue
-            parent = self._by_token.get(t)
+            parent = ts.by_token.get(t)
             if parent is not None:
                 parent.dependents -= 1
                 if spilled:
                     parent.spilled_dependents -= 1
                 if parent.dependents == 0:
-                    self._leaf_sigs.add(parent.sig)
+                    ts.leaf_sigs[parent.sig] = parent
                 self._update_demotable(parent)
         if entry.is_spilled:
-            self.spilled_bytes -= entry.nbytes
+            home.spilled_bytes -= entry.nbytes
             if self.spill is not None and token is not None:
                 # Removal from the pool is also removal from disk — this
                 # is what makes invalidation of a spilled entry delete
                 # its files.
                 self.spill.delete(token)
         else:
-            self.total_bytes -= entry.nbytes
+            home.total_bytes -= entry.nbytes
 
     # ------------------------------------------------------------------
     # Tier moves (the recycler handles the actual disk I/O)
@@ -308,23 +567,28 @@ class RecyclePool:
         survives demotion; only the tier-dependent books (consumer split,
         parents' demotability) move.
         """
-        if entry.sig not in self._by_sig or entry.is_spilled:
-            raise RecyclerError(f"cannot demote {entry.opname}")
-        value = entry.value
-        if not isinstance(value, BAT):
-            raise RecyclerError(f"demoting non-BAT entry {entry.opname}")
-        entry.value = SpilledStub.of(value)
-        entry.state = SPILLED
-        self._demotable_sigs.discard(entry.sig)
-        for t in entry.arg_tokens:
-            self._spilled_consumers[t] = \
-                self._spilled_consumers.get(t, 0) + 1
-            parent = self._by_token.get(t)
-            if parent is not None:
-                parent.spilled_dependents += 1
-                self._update_demotable(parent)
-        self.total_bytes -= entry.nbytes
-        self.spilled_bytes += entry.nbytes
+        with self._entry_scope(entry):
+            home = self._shards[self._sig_home(entry.sig)]
+            if entry.sig not in home.by_sig or entry.is_spilled:
+                raise RecyclerError(f"cannot demote {entry.opname}")
+            value = entry.value
+            if not isinstance(value, BAT):
+                raise RecyclerError(
+                    f"demoting non-BAT entry {entry.opname}"
+                )
+            entry.value = SpilledStub.of(value)
+            entry.state = SPILLED
+            self._leaf_shard(entry).demotable_sigs.pop(entry.sig, None)
+            for t in entry.arg_tokens:
+                ts = self._shards[self._token_home(t)]
+                ts.spilled_consumers[t] = \
+                    ts.spilled_consumers.get(t, 0) + 1
+                parent = ts.by_token.get(t)
+                if parent is not None:
+                    parent.spilled_dependents += 1
+                    self._update_demotable(parent)
+            home.total_bytes -= entry.nbytes
+            home.spilled_bytes += entry.nbytes
 
     def promote(self, entry: RecycleEntry, value: BAT) -> None:
         """Bring a spilled *entry* back to memory with the reloaded BAT.
@@ -335,42 +599,54 @@ class RecyclePool:
         are deleted — on POSIX the promoted BAT's memory-mapped columns
         survive the unlink, and a later re-demotion rewrites them.
         """
-        if entry.sig not in self._by_sig or not entry.is_spilled:
-            raise RecyclerError(f"cannot promote {entry.opname}")
-        token = entry.result_token
-        if value.token != token:
-            raise RecyclerError(
-                f"promotion token mismatch: entry {token}, "
-                f"BAT {value.token}"
-            )
-        entry.value = value
-        entry.state = RESIDENT
-        entry.promotions += 1
-        for t in entry.arg_tokens:
-            s_remaining = self._spilled_consumers.get(t, 0) - 1
-            if s_remaining > 0:
-                self._spilled_consumers[t] = s_remaining
-            else:
-                self._spilled_consumers.pop(t, None)
-            parent = self._by_token.get(t)
-            if parent is not None:
-                parent.spilled_dependents -= 1
-                self._update_demotable(parent)
-        self._update_demotable(entry)
-        self.spilled_bytes -= entry.nbytes
-        self.total_bytes += entry.nbytes
-        if self.spill is not None:
-            self.spill.delete(token)
+        with self._entry_scope(entry):
+            home = self._shards[self._sig_home(entry.sig)]
+            if entry.sig not in home.by_sig or not entry.is_spilled:
+                raise RecyclerError(f"cannot promote {entry.opname}")
+            token = entry.result_token
+            if value.token != token:
+                raise RecyclerError(
+                    f"promotion token mismatch: entry {token}, "
+                    f"BAT {value.token}"
+                )
+            entry.value = value
+            entry.state = RESIDENT
+            entry.promotions += 1
+            for t in entry.arg_tokens:
+                ts = self._shards[self._token_home(t)]
+                s_remaining = ts.spilled_consumers.get(t, 0) - 1
+                if s_remaining > 0:
+                    ts.spilled_consumers[t] = s_remaining
+                else:
+                    ts.spilled_consumers.pop(t, None)
+                parent = ts.by_token.get(t)
+                if parent is not None:
+                    parent.spilled_dependents -= 1
+                    self._update_demotable(parent)
+            self._update_demotable(entry)
+            home.spilled_bytes -= entry.nbytes
+            home.total_bytes += entry.nbytes
+            if self.spill is not None:
+                self.spill.delete(token)
 
     def spilled_entries(self) -> List[RecycleEntry]:
-        return [e for e in self._by_sig.values() if e.is_spilled]
+        with self.all_locked():
+            out = [
+                e for s in self._shards
+                for e in s.by_sig.values() if e.is_spilled
+            ]
+        out.sort(key=_BY_SEQ)
+        return out
 
     def spilled_leaves(self) -> List[RecycleEntry]:
         """Spilled entries with no dependents — disk-tier quota victims."""
-        return [
-            self._by_sig[s] for s in self._leaf_sigs
-            if self._by_sig[s].is_spilled
-        ]
+        with self.all_locked():
+            out = [
+                e for s in self._shards
+                for e in s.leaf_sigs.values() if e.is_spilled
+            ]
+        out.sort(key=_BY_SEQ)
+        return out
 
     @staticmethod
     def _first_bat_token(sig: Signature) -> Optional[int]:
@@ -382,24 +658,55 @@ class RecyclePool:
     # ------------------------------------------------------------------
     def leaves(self, protected: Optional[Set[Signature]] = None
                ) -> List[RecycleEntry]:
-        """Eviction candidates: entries with no dependents, minus protected."""
+        """Eviction candidates: entries with no dependents, minus protected.
+
+        Aggregated over all shards under :meth:`all_locked`, in global
+        admission order."""
+        with self.all_locked():
+            return self._leaves_locked(protected)
+
+    def _leaves_locked(self, protected: Optional[Set[Signature]] = None
+                       ) -> List[RecycleEntry]:
+        """:meth:`leaves` for callers already holding all shard locks
+        (the recycler's eviction sweep)."""
         if protected:
-            return [
-                self._by_sig[s] for s in self._leaf_sigs
-                if s not in protected
+            out = [
+                e for s in self._shards
+                for e in s.leaf_sigs.values()
+                if e.sig not in protected
             ]
-        return [self._by_sig[s] for s in self._leaf_sigs]
+        else:
+            out = [
+                e for s in self._shards
+                for e in s.leaf_sigs.values()
+            ]
+        out.sort(key=_BY_SEQ)
+        return out
 
     def demotable(self, protected: Optional[Set[Signature]] = None
                   ) -> List[RecycleEntry]:
         """Byte-pressure candidates with a spill tier: resident entries
         with no resident dependents (superset of the resident leaves)."""
+        with self.all_locked():
+            return self._demotable_locked(protected)
+
+    def _demotable_locked(self, protected: Optional[Set[Signature]] = None
+                          ) -> List[RecycleEntry]:
+        """:meth:`demotable` for callers already holding all shard
+        locks."""
         if protected:
-            return [
-                self._by_sig[s] for s in self._demotable_sigs
-                if s not in protected
+            out = [
+                e for s in self._shards
+                for e in s.demotable_sigs.values()
+                if e.sig not in protected
             ]
-        return [self._by_sig[s] for s in self._demotable_sigs]
+        else:
+            out = [
+                e for s in self._shards
+                for e in s.demotable_sigs.values()
+            ]
+        out.sort(key=_BY_SEQ)
+        return out
 
     def stale_entries(self, stale_columns: Set[Tuple[str, str]],
                       current_versions: Optional[Set[Tuple[str, str, int]]]
@@ -414,7 +721,7 @@ class RecyclePool:
         an intermediate on disk goes just as stale as one in memory.
         """
         out = []
-        for e in self._by_sig.values():
+        for e in self.entries():
             value = e.value
             if not isinstance(value, (BAT, SpilledStub)):
                 continue
@@ -431,27 +738,83 @@ class RecyclePool:
         """Recompute all derived pool state and compare with the books.
 
         Raises :class:`RecyclerError` naming every discrepancy found:
-        per-tier byte accounting, the token index, the subsumption
-        buckets, the dependency counts, the incremental leaf set, and —
-        with a spill store attached — the disk files backing every
-        spilled entry.  Meant for tests and debugging — it is O(pool
-        size) plus one directory scan.
+        per-tier byte accounting (per shard), the token index, the
+        subsumption buckets, the dependency counts, the incremental leaf
+        set, the shard placement of every record, and — with a spill
+        store attached — the disk files backing every spilled entry.
+        Takes all shard locks; meant for tests and debugging — it is
+        O(pool size) plus one directory scan.
         """
-        problems: List[str] = []
-        entries = list(self._by_sig.values())
+        with self.all_locked():
+            self._check_invariants_locked()
 
-        true_bytes = sum(e.nbytes for e in entries if not e.is_spilled)
-        if true_bytes != self.total_bytes:
-            problems.append(
-                f"total_bytes drift: recorded {self.total_bytes}, "
-                f"recomputed {true_bytes}"
+    def _check_invariants_locked(self) -> None:
+        problems: List[str] = []
+        entries = [e for s in self._shards for e in s.by_sig.values()]
+
+        # --- routing caches (set at _add) match a fresh computation ---
+        for e in entries:
+            if e.rtoken != e.result_token:
+                problems.append(
+                    f"stale rtoken cache on {e.opname}: {e.rtoken} "
+                    f"vs {e.result_token}"
+                )
+            if e.first_tok != self._first_bat_token(e.sig):
+                problems.append(f"stale first_tok cache on {e.opname}")
+            if e.home_idx != self._sig_home(e.sig):
+                problems.append(f"stale home_idx cache on {e.opname}")
+            true_leaf = (e.rtoken % self.n_shards
+                         if e.rtoken is not None else e.home_idx)
+            if e.leaf_idx != true_leaf:
+                problems.append(f"stale leaf_idx cache on {e.opname}")
+
+        # --- shard placement and per-shard byte books ---
+        for i, s in enumerate(self._shards):
+            for sig in s.by_sig:
+                if self._sig_home(sig) != i:
+                    problems.append(
+                        f"signature homed in shard {self._sig_home(sig)} "
+                        f"found in shard {i}"
+                    )
+            for token in s.by_token:
+                if self._token_home(token) != i:
+                    problems.append(
+                        f"token {token} found in shard {i}, "
+                        f"home {self._token_home(token)}"
+                    )
+            for key in s.by_op_arg:
+                if self._token_home(key[1]) != i:
+                    problems.append(
+                        f"bucket {key} found in shard {i}, "
+                        f"home {self._token_home(key[1])}"
+                    )
+            for t, n in s.consumers.items():
+                if self._token_home(t) != i:
+                    problems.append(f"consumer token {t} in shard {i}")
+            for sig in set(s.leaf_sigs) | set(s.demotable_sigs):
+                entry = self._shards[self._sig_home(sig)].by_sig.get(sig)
+                if entry is None:
+                    problems.append(f"leaf/demotable sig not pooled: {sig[0]}")
+                elif self._leaf_shard(entry) is not s:
+                    problems.append(
+                        f"leaf membership of {sig[0]} homed in wrong shard"
+                    )
+            true_bytes = sum(
+                e.nbytes for e in s.by_sig.values() if not e.is_spilled
             )
-        true_spilled = sum(e.nbytes for e in entries if e.is_spilled)
-        if true_spilled != self.spilled_bytes:
-            problems.append(
-                f"spilled_bytes drift: recorded {self.spilled_bytes}, "
-                f"recomputed {true_spilled}"
+            if true_bytes != s.total_bytes:
+                problems.append(
+                    f"shard {i} total_bytes drift: recorded "
+                    f"{s.total_bytes}, recomputed {true_bytes}"
+                )
+            true_spilled = sum(
+                e.nbytes for e in s.by_sig.values() if e.is_spilled
             )
+            if true_spilled != s.spilled_bytes:
+                problems.append(
+                    f"shard {i} spilled_bytes drift: recorded "
+                    f"{s.spilled_bytes}, recomputed {true_spilled}"
+                )
 
         for e in entries:
             if e.is_spilled and not isinstance(e.value, SpilledStub):
@@ -484,17 +847,20 @@ class RecyclePool:
                 f"{len(spilled_tokens)} spilled entries but no spill store"
             )
 
+        recorded_tokens = {
+            t: e for s in self._shards for t, e in s.by_token.items()
+        }
         true_tokens = {
             e.result_token: e for e in entries if e.result_token is not None
         }
-        if set(true_tokens) != set(self._by_token):
+        if set(true_tokens) != set(recorded_tokens):
             problems.append(
-                f"token index drift: recorded {sorted(self._by_token)}, "
+                f"token index drift: recorded {sorted(recorded_tokens)}, "
                 f"recomputed {sorted(true_tokens)}"
             )
         else:
             for t, e in true_tokens.items():
-                if self._by_token[t] is not e:
+                if recorded_tokens[t] is not e:
                     problems.append(f"token {t} maps to a stale entry")
 
         true_deps: Dict[Signature, int] = {e.sig: 0 for e in entries}
@@ -514,16 +880,22 @@ class RecyclePool:
         for e in entries:
             for t in e.arg_tokens:
                 true_consumers[t] = true_consumers.get(t, 0) + 1
-        if true_consumers != self._consumers:
+        recorded_consumers = {
+            t: n for s in self._shards for t, n in s.consumers.items()
+        }
+        if true_consumers != recorded_consumers:
             problems.append(
-                f"consumer index drift: {len(self._consumers)} recorded "
+                f"consumer index drift: {len(recorded_consumers)} recorded "
                 f"tokens vs {len(true_consumers)} recomputed"
             )
 
+        recorded_leaves = {
+            sig for s in self._shards for sig in s.leaf_sigs
+        }
         true_leaves = {sig for sig, n in true_deps.items() if n == 0}
-        if true_leaves != self._leaf_sigs:
+        if true_leaves != recorded_leaves:
             problems.append(
-                f"leaf set drift: {len(self._leaf_sigs)} recorded vs "
+                f"leaf set drift: {len(recorded_leaves)} recorded vs "
                 f"{len(true_leaves)} recomputed"
             )
 
@@ -550,21 +922,27 @@ class RecyclePool:
             for t in e.arg_tokens:
                 true_spilled_consumers[t] = \
                     true_spilled_consumers.get(t, 0) + 1
-        if true_spilled_consumers != self._spilled_consumers:
+        recorded_spilled_consumers = {
+            t: n for s in self._shards for t, n in s.spilled_consumers.items()
+        }
+        if true_spilled_consumers != recorded_spilled_consumers:
             problems.append(
                 f"spilled-consumer index drift: "
-                f"{len(self._spilled_consumers)} recorded tokens vs "
+                f"{len(recorded_spilled_consumers)} recorded tokens vs "
                 f"{len(true_spilled_consumers)} recomputed"
             )
 
+        recorded_demotable = {
+            sig for s in self._shards for sig in s.demotable_sigs
+        }
         true_demotable = {
             e.sig for e in entries
             if not e.is_spilled
             and true_deps[e.sig] == true_spilled_deps[e.sig]
         }
-        if true_demotable != self._demotable_sigs:
+        if true_demotable != recorded_demotable:
             problems.append(
-                f"demotable set drift: {len(self._demotable_sigs)} "
+                f"demotable set drift: {len(recorded_demotable)} "
                 f"recorded vs {len(true_demotable)} recomputed"
             )
 
@@ -573,15 +951,18 @@ class RecyclePool:
             first = self._first_bat_token(e.sig)
             if first is not None:
                 true_buckets.setdefault((e.opname, first), []).append(e)
-        if set(true_buckets) != set(self._by_op_arg):
+        recorded_buckets = {
+            k: v for s in self._shards for k, v in s.by_op_arg.items()
+        }
+        if set(true_buckets) != set(recorded_buckets):
             problems.append(
                 "subsumption bucket keys drift: "
-                f"{sorted(k[0] for k in self._by_op_arg)} recorded vs "
+                f"{sorted(k[0] for k in recorded_buckets)} recorded vs "
                 f"{sorted(k[0] for k in true_buckets)} recomputed"
             )
         else:
             for key, bucket in true_buckets.items():
-                recorded = self._by_op_arg[key]
+                recorded = recorded_buckets[key]
                 if len(recorded) != len(bucket) or \
                         any(e not in recorded for e in bucket):
                     problems.append(f"bucket {key} contents drift")
@@ -593,19 +974,22 @@ class RecyclePool:
 
     def clear(self) -> List[RecycleEntry]:
         """Empty the pool — both tiers — returning the removed entries."""
-        removed = list(self._by_sig.values())
-        self._by_sig.clear()
-        self._by_token.clear()
-        self._by_op_arg.clear()
-        self._leaf_sigs.clear()
-        self._demotable_sigs.clear()
-        self._consumers.clear()
-        self._spilled_consumers.clear()
-        self.total_bytes = 0
-        self.spilled_bytes = 0
-        if self.spill is not None:
-            self.spill.clear()
-        for e in removed:
-            e.dependents = 0
-            e.spilled_dependents = 0
-        return removed
+        with self.all_locked():
+            removed = [e for s in self._shards for e in s.by_sig.values()]
+            removed.sort(key=_BY_SEQ)
+            for s in self._shards:
+                s.by_sig.clear()
+                s.by_token.clear()
+                s.by_op_arg.clear()
+                s.leaf_sigs.clear()
+                s.demotable_sigs.clear()
+                s.consumers.clear()
+                s.spilled_consumers.clear()
+                s.total_bytes = 0
+                s.spilled_bytes = 0
+            if self.spill is not None:
+                self.spill.clear()
+            for e in removed:
+                e.dependents = 0
+                e.spilled_dependents = 0
+            return removed

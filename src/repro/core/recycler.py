@@ -22,18 +22,27 @@ match **promotes** the entry back — a cheaper hit than recomputation.
 Entry-count pressure still destroys, since a spilled entry occupies a
 cache line all the same.
 
-Concurrency contract (multi-session mode, :mod:`repro.server`): all pool
-state — the :class:`RecyclePool`, the admission/eviction policies, the
-spill store, and the cumulative totals — is guarded by one re-entrant
-``lock``.  Every public entry point acquires it; operator execution stays
-outside (the interpreter calls in only for Algorithm 1 bookkeeping), so
-sessions overlap their real work.  Eviction — including demotion and
-disk-quota reclaim — protects the union of all *active* invocations'
-touched sets, generalising the §4.3 single-query protection rule.
+Concurrency contract (multi-session mode, :mod:`repro.server`): pool
+state is guarded by the :class:`~repro.core.pool.RecyclePool`'s *shard*
+locks — the hot paths (exact lookup, subsumption search, admission
+without resource limits, statistics on individual entries) take only the
+shards named by the signature/tokens involved, so sessions working on
+unrelated lineage proceed in parallel.  Operations that must observe the
+whole pool — eviction sweeps under a resource limit, invalidation,
+``recycle_reset``/``close``, delta propagation, ``check_invariants`` —
+take *all* shard locks in index order (stop-the-world).  The cumulative
+totals and the admission policy's internal state have their own small
+mutex (acquired *inside* shard scopes, never around them), and the
+in-flight invocation registry another.  The legacy ``recycler.lock``
+context manager is preserved as an alias for the all-shards scope.
+Eviction — including demotion and disk-quota reclaim — protects the
+union of all *active* invocations' touched sets, generalising the §4.3
+single-query protection rule.
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from dataclasses import dataclass
@@ -81,6 +90,10 @@ class RecyclerConfig:
     recomputation is dearer than a reload are demoted to ``.npy`` files
     in this directory instead of destroyed, bounded by
     ``spill_limit_bytes`` (None = unlimited disk tier).
+
+    ``pool_shards`` is the recycle-pool shard count (concurrency knob:
+    more shards mean less lock contention between sessions; 1 restores
+    the single-lock pool).  It does not affect results or eviction order.
     """
 
     max_bytes: Optional[int] = None
@@ -91,6 +104,7 @@ class RecyclerConfig:
     overhead_tuples: float = 0.0
     spill_dir: Optional[str] = None
     spill_limit_bytes: Optional[int] = None
+    pool_shards: int = 8
 
 
 @dataclass
@@ -123,7 +137,7 @@ class RecyclerTotals:
 class Invocation:
     """Per-invocation recycler state: protection set and statistics."""
 
-    __slots__ = ("id", "program", "stats", "clock", "touched")
+    __slots__ = ("id", "program", "stats", "clock", "touched", "_lock")
 
     def __init__(self, inv_id: int, program: MalProgram, stats,
                  clock: Callable[[], float]):
@@ -132,13 +146,40 @@ class Invocation:
         self.stats = stats
         self.clock = clock
         #: signatures matched or admitted by this invocation — protected
-        #: from eviction while the query runs (§4.3).
+        #: from eviction while the query runs (§4.3).  Guarded by
+        #: ``_lock``: the owning session adds while eviction sweeps (other
+        #: sessions) snapshot.
         self.touched: Set[Signature] = set()
+        self._lock = threading.Lock()
+
+    def touch(self, sig: Signature) -> None:
+        with self._lock:
+            self.touched.add(sig)
+
+    def touched_snapshot(self) -> Set[Signature]:
+        with self._lock:
+            return set(self.touched)
+
+    def clear_touched(self) -> None:
+        with self._lock:
+            self.touched.clear()
 
 
 @dataclass
 class _Reuse:
     value: Any
+
+
+class _Flag:
+    """Mutable bool threaded through the subsumption materialise phase."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = False
+
+    def set(self):
+        self.value = True
 
 
 class Recycler:
@@ -163,100 +204,108 @@ class Recycler:
         self.eviction = eviction or LruEviction()
         self.config = config or RecyclerConfig()
         self.clock = clock
-        self.pool = RecyclePool()
+        self.pool = RecyclePool(n_shards=max(1, self.config.pool_shards))
         self.spill: Optional[SpillStore] = None
         if self.config.spill_dir is not None:
             self.spill = SpillStore(self.config.spill_dir,
                                     self.config.spill_limit_bytes)
             self.pool.spill = self.spill
         self.totals = RecyclerTotals()
+        self._invocation_ids = itertools.count(1)
         self._invocation_seq = 0
-        #: Guards all pool state; re-entrant so internal helpers can call
-        #: public entry points.  See the module docstring for the contract.
-        self.lock = threading.RLock()
+        #: Guards the cumulative totals and the admission policy's mutable
+        #: state.  Acquired inside pool shard scopes, never around them.
+        self._stats_lock = threading.RLock()
+        #: Guards the in-flight invocation registry.
+        self._active_lock = threading.Lock()
         #: In-flight invocations (any session) — their touched entries are
         #: protected from eviction (§4.3, multi-session generalisation).
         self._active: Dict[int, Invocation] = {}
+
+    @property
+    def lock(self):
+        """Stop-the-world scope: all pool shard locks, in order.
+
+        Kept for the pre-sharding API (``with recycler.lock:``) — tests
+        and :meth:`repro.db.Database.recycler_report` freeze the whole
+        pool with it.  Every pool method is safe (re-entrant) under it.
+        """
+        return self.pool.all_locked()
+
+    @property
+    def _limited(self) -> bool:
+        """Is any resource limit configured?  Limits force admissions and
+        promotions through the stop-the-world eviction path."""
+        return (self.config.max_bytes is not None
+                or self.config.max_entries is not None)
 
     # ------------------------------------------------------------------
     # Interpreter-facing API (Algorithm 1)
     # ------------------------------------------------------------------
     def begin_invocation(self, program: MalProgram, stats,
                          clock: Callable[[], float]) -> Invocation:
-        with self.lock:
-            self._invocation_seq += 1
+        inv_id = next(self._invocation_ids)
+        self._invocation_seq = inv_id
+        with self._stats_lock:
             self.totals.invocations += 1
             self.admission.on_invocation_start(program.name)
-            inv = Invocation(self._invocation_seq, program, stats, clock)
+        inv = Invocation(inv_id, program, stats, clock)
+        with self._active_lock:
             self._active[inv.id] = inv
-            return inv
+        return inv
 
     def end_invocation(self, invocation: Optional[Invocation]) -> None:
         if invocation is not None:
-            with self.lock:
+            with self._active_lock:
                 self._active.pop(invocation.id, None)
-                invocation.touched.clear()
+            invocation.clear_touched()
 
     def recycle_entry(self, inv: Invocation, instr: Instr, opdef,
                       args: Tuple) -> Optional[_Reuse]:
         """Pool lookup (exact, then subsumption).  None means: execute."""
-        with self.lock:
-            return self._recycle_entry_locked(inv, instr, opdef, args)
-
-    def _recycle_entry_locked(self, inv: Invocation, instr: Instr, opdef,
-                              args: Tuple) -> Optional[_Reuse]:
         sig = make_signature(instr.opname, args)
         entry = self.pool.lookup(sig)
-        promoted = False
-        value = entry.value if entry is not None else None
-        if entry is not None and entry.is_spilled:
+        if entry is not None and not entry.is_spilled:
+            value = entry.value
+            if isinstance(value, BAT):
+                # Resident hit.  The value read is safe without holding
+                # the shard lock across the serve: pooled BATs are
+                # immutable, so even a concurrent demotion (which swaps
+                # in a stub *after* our read) leaves us a valid result.
+                # A read that catches the stub instead falls through to
+                # the promotion path below.
+                return self._serve_exact(inv, entry, opdef, value,
+                                         promoted=False)
+        if entry is not None:
             # Disk-tier hit: promote before serving.  A corrupt spill
             # entry is dropped and the instruction falls through to the
-            # subsumption search / genuine execution.
+            # subsumption search / genuine execution.  (The promotion
+            # takes the entry's own lock set — or all shards when a
+            # resource limit forces a capacity re-balance.)
             value = self._promote_entry(inv, entry)
-            promoted = value is not None
-            if not promoted:
-                entry = None
-        if entry is not None:
-            # A promoted hit is cheaper than recomputation but not free:
-            # credit the recorded cost minus the estimated reload cost.
-            saved = entry.cost
-            if promoted:
-                saved = max(entry.cost - reload_cost(entry.nbytes), 0.0)
-                inv.stats.hits_promoted += 1
-                self.totals.promoted_hits += 1
-            local = self._record_reuse(inv, entry, saved=saved)
-            inv.stats.hits_exact += 1
-            inv.stats.saved_time += saved
-            if local:
-                inv.stats.saved_local += saved
-                if opdef.kind != "bind":
-                    inv.stats.hits_local_nonbind += 1
-            else:
-                inv.stats.saved_global += saved
-                if opdef.kind != "bind":
-                    inv.stats.hits_global_nonbind += 1
-            self.totals.exact_hits += 1
-            self.totals.saved_time += saved
-            inv.touched.add(entry.sig)
-            return _Reuse(value)
+            if value is not None:
+                return self._serve_exact(inv, entry, opdef, value,
+                                         promoted=True)
 
         if (self.config.subsumption
                 and instr.opname in self.SUBSUMABLE_OPS
                 and isinstance(args[0], BAT)):
-            promotions_before = self.totals.promotions
-            outcome = self._try_subsume(inv, instr.opname, args)
+            outcome, promoted_any = self._try_subsume(inv, instr.opname,
+                                                      args)
             if outcome is not None:
                 inv.stats.hits_subsumed += 1
-                self.totals.subsumed_hits += 1
-                if outcome.kind == "combined":
-                    self.totals.combined_hits += 1
-                if self.totals.promotions > promotions_before:
+                if promoted_any:
                     inv.stats.hits_promoted += 1
-                    self.totals.promoted_hits += 1
+                with self._stats_lock:
+                    self.totals.subsumed_hits += 1
+                    if outcome.kind == "combined":
+                        self.totals.combined_hits += 1
+                    if promoted_any:
+                        self.totals.promoted_hits += 1
                 for used in outcome.used_entries:
-                    self._record_reuse(inv, used, subsumed=True)
-                    inv.touched.add(used.sig)
+                    with self.pool.sig_locked(used.sig):
+                        self._record_reuse(inv, used, subsumed=True)
+                    inv.touch(used.sig)
                 # The (cheaper) subsumed result is admitted under the
                 # original signature so future instances match exactly.
                 self._admit(inv, instr, opdef, sig, args, outcome.value,
@@ -268,19 +317,48 @@ class Recycler:
                      args: Tuple, value: Any, elapsed: float) -> None:
         """Admission decision for a genuinely executed instruction."""
         sig = make_signature(instr.opname, args)
-        with self.lock:
-            self._admit(inv, instr, opdef, sig, args, value, elapsed)
+        self._admit(inv, instr, opdef, sig, args, value, elapsed)
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _serve_exact(self, inv: Invocation, entry: RecycleEntry, opdef,
+                     value: Any, promoted: bool) -> _Reuse:
+        """Book an exact hit (resident or just-promoted) and serve it."""
+        # A promoted hit is cheaper than recomputation but not free:
+        # credit the recorded cost minus the estimated reload cost.
+        saved = entry.cost
+        if promoted:
+            saved = max(entry.cost - reload_cost(entry.nbytes), 0.0)
+            inv.stats.hits_promoted += 1
+        with self.pool.sig_locked(entry.sig):
+            local = self._record_reuse(inv, entry, saved=saved)
+        inv.stats.hits_exact += 1
+        inv.stats.saved_time += saved
+        if local:
+            inv.stats.saved_local += saved
+            if opdef.kind != "bind":
+                inv.stats.hits_local_nonbind += 1
+        else:
+            inv.stats.saved_global += saved
+            if opdef.kind != "bind":
+                inv.stats.hits_global_nonbind += 1
+        with self._stats_lock:
+            self.totals.exact_hits += 1
+            self.totals.saved_time += saved
+            if promoted:
+                self.totals.promoted_hits += 1
+        inv.touch(entry.sig)
+        return _Reuse(value)
+
     def _record_reuse(self, inv: Invocation, entry: RecycleEntry,
                       subsumed: bool = False,
                       saved: Optional[float] = None) -> bool:
         """Update reuse statistics; returns True for a *local* reuse.
 
         *saved* overrides the credited time for this reuse (promoted hits
-        save less than the full recomputation cost).
+        save less than the full recomputation cost).  Caller holds the
+        entry's signature-home shard lock (entry statistics guard).
         """
         entry.reuse_count += 1
         entry.last_used = inv.clock()
@@ -290,13 +368,15 @@ class Recycler:
         if entry.invocation_id == inv.id:
             entry.local_reuses += 1
             inv.stats.hits_local += 1
-            self.totals.local_hits += 1
-            self.admission.on_local_reuse(entry)
+            with self._stats_lock:
+                self.totals.local_hits += 1
+                self.admission.on_local_reuse(entry)
             return True
         entry.global_reuses += 1
         inv.stats.hits_global += 1
-        self.totals.global_hits += 1
-        self.admission.on_global_reuse(entry)
+        with self._stats_lock:
+            self.totals.global_hits += 1
+            self.admission.on_global_reuse(entry)
         return False
 
     def _admit(self, inv: Invocation, instr: Instr, opdef, sig: Signature,
@@ -307,37 +387,77 @@ class Recycler:
             return
         key = (inv.program.name, instr.pc)
         nbytes = value.owned_nbytes
-        if not self.admission.should_admit(key, nbytes, len(value)):
+        with self._stats_lock:
+            admit = self.admission.should_admit(key, nbytes, len(value))
+        if not admit:
             return
-        if self.config.max_bytes is not None and nbytes > self.config.max_bytes:
+        if self.config.max_bytes is not None \
+                and nbytes > self.config.max_bytes:
             return  # can never fit
-        self._ensure_capacity(inv, nbytes)
-        now = inv.clock()
-        entry = RecycleEntry(
-            sig=sig,
-            opname=instr.opname,
-            kind=opdef.kind,
-            value=value,
-            cost=elapsed,
-            nbytes=nbytes,
-            tuples=len(value),
-            template_key=key,
-            invocation_id=inv.id,
-            admitted_at=now,
-            last_used=now,
-            arg_tokens=tuple(
-                a.token for a in args if isinstance(a, BAT)
-            ),
-        )
-        self.pool.add(entry)
-        self.admission.on_admit(key)
-        inv.touched.add(sig)
+
+        def build() -> RecycleEntry:
+            now = inv.clock()
+            return RecycleEntry(
+                sig=sig,
+                opname=instr.opname,
+                kind=opdef.kind,
+                value=value,
+                cost=elapsed,
+                nbytes=nbytes,
+                tuples=len(value),
+                template_key=key,
+                invocation_id=inv.id,
+                admitted_at=now,
+                last_used=now,
+                arg_tokens=tuple(
+                    a.token for a in args if isinstance(a, BAT)
+                ),
+            )
+
+        if self._limited:
+            cfg = self.config
+            pool_bytes, pool_len = self.pool.usage()
+            fits = ((cfg.max_bytes is None
+                     or pool_bytes + nbytes <= cfg.max_bytes)
+                    and (cfg.max_entries is None
+                         or pool_len + 1 <= cfg.max_entries))
+            if fits:
+                # Under the limits: shard-local admission — no eviction is
+                # needed, so no stop-the-world.  Concurrent admissions may
+                # overshoot between the advisory totals read and the add;
+                # the recheck below restores the limits.
+                if not self.pool.add_if_absent(build()):
+                    return
+                pool_bytes, pool_len = self.pool.usage()
+                if ((cfg.max_bytes is not None
+                     and pool_bytes > cfg.max_bytes)
+                        or (cfg.max_entries is not None
+                            and pool_len > cfg.max_entries)):
+                    with self.pool.all_locked():
+                        self._ensure_capacity_locked(inv, 0,
+                                                     incoming_entries=0)
+            else:
+                # Eviction observes and mutates the whole pool, so the
+                # admission happens stop-the-world.
+                with self.pool.all_locked():
+                    if sig in self.pool:
+                        return
+                    self._ensure_capacity_locked(inv, nbytes)
+                    if not self.pool._add_locked(build()):
+                        return
+        else:
+            # No limits: shard-local, race-safe admission.
+            if not self.pool.add_if_absent(build()):
+                return
+        with self._stats_lock:
+            self.admission.on_admit(key)
+            self.totals.admissions += 1
+        inv.touch(sig)
         inv.stats.admitted_entries += 1
         inv.stats.admitted_bytes += nbytes
-        self.totals.admissions += 1
 
     # ------------------------------------------------------------------
-    # Two-tier moves (spill_dir configured; always under the lock)
+    # Two-tier moves (spill_dir configured)
     # ------------------------------------------------------------------
     def _promote_entry(self, inv: Invocation,
                        entry: RecycleEntry) -> Optional[BAT]:
@@ -353,34 +473,75 @@ class Recycler:
         capacity re-balance may — when every other leaf is protected —
         demote the freshly promoted entry right back, and the caller must
         still serve the real BAT, never the stub.
+
+        Locking: the entry's own lock set without resource limits, all
+        shards with them (the re-balance sweeps the whole pool).  The
+        entry is revalidated under the locks — a concurrent eviction may
+        have removed it (miss), a concurrent hit may have promoted it
+        (serve the resident value).
         """
-        token = entry.result_token
-        try:
-            value = self.spill.load(token)
-        except SpillError:
-            # Same cascade rule as eviction's destroy path: a dropped
-            # producer strands its spilled dependent thread, unless its
-            # token is stable across re-admission.
+        spill_failed = False
+        scope = (self.pool.all_locked() if self._limited
+                 else self.pool.entry_locked(entry))
+        with scope:
+            if self.pool.lookup(entry.sig) is not entry:
+                return None  # evicted while we waited: treat as a miss
+            if not entry.is_spilled:
+                value = entry.value  # promoted by a concurrent session
+                return value if isinstance(value, BAT) else None
+            token = entry.result_token
+            try:
+                value = self.spill.load(token)
+            except SpillError:
+                spill_failed = True
+            else:
+                self.pool.promote(entry, value)
+                with self._stats_lock:
+                    self.totals.promotions += 1
+                inv.touch(entry.sig)
+                # Promotion adds bytes but no pool entry: reserve no
+                # admission slot, or every promoted hit at the entry
+                # limit would evict.
+                if self._limited:
+                    self._ensure_capacity_locked(inv, 0,
+                                                 incoming_entries=0)
+                return value
+        if spill_failed:
+            self._drop_corrupt_spilled(entry)
+        return None
+
+    def _drop_corrupt_spilled(self, entry: RecycleEntry) -> None:
+        """Drop a spilled entry whose disk image failed to load.
+
+        Same cascade rule as eviction's destroy path: a dropped producer
+        strands its spilled dependent thread, unless its token is stable
+        across re-admission.  Stop-the-world (the cascade walks the whole
+        pool).
+        """
+        with self.pool.all_locked():
+            if self.pool.lookup(entry.sig) is not entry \
+                    or not entry.is_spilled:
+                return  # resolved concurrently
             if entry.dependents and not self._token_is_stable(entry):
                 self._drop_dependent_thread(entry)
             self.pool.remove_set([entry])
-            self.admission.on_evict(entry)
-            self.totals.spill_errors += 1
-            return None
-        self.pool.promote(entry, value)
-        self.totals.promotions += 1
-        inv.touched.add(entry.sig)
-        # Promotion adds bytes but no pool entry: reserve no admission
-        # slot, or every promoted hit at the entry limit would evict.
-        self._ensure_capacity(inv, 0, incoming_entries=0)
-        return value
+            with self._stats_lock:
+                self.admission.on_evict(entry)
+                self.totals.spill_errors += 1
 
-    def _resident_value(self, inv: Invocation,
-                        entry: RecycleEntry) -> Optional[BAT]:
+    def _resident_value(self, inv: Invocation, entry: RecycleEntry,
+                        promoted: Optional[_Flag] = None) -> Optional[BAT]:
         """The entry's BAT, promoting it first when spilled."""
-        if entry.is_spilled:
-            return self._promote_entry(inv, entry)
-        return entry.value
+        if not entry.is_spilled:
+            value = entry.value
+            if isinstance(value, BAT):
+                return value
+            # demoted between plan and use — fall through to the promote
+            # path, which revalidates under the entry's locks
+        value = self._promote_entry(inv, entry)
+        if value is not None and promoted is not None:
+            promoted.set()
+        return value
 
     def _reclaim_spill_room(self, nbytes: int,
                             protected: Set[Signature]) -> bool:
@@ -388,7 +549,7 @@ class Recycler:
 
         Least-recently-used spilled leaves go first (they already lost
         the memory-tier contest once).  Returns whether the store now has
-        room.
+        room.  Caller holds all shard locks (eviction path).
         """
         spill = self.spill
         if spill.room_for(nbytes):
@@ -402,9 +563,10 @@ class Recycler:
             if spill.room_for(nbytes):
                 break
             self.pool.remove(victim)
-            self.admission.on_evict(victim)
-            self.totals.spill_evictions += 1
-            self.totals.evictions += 1
+            with self._stats_lock:
+                self.admission.on_evict(victim)
+                self.totals.spill_evictions += 1
+                self.totals.evictions += 1
         return spill.room_for(nbytes)
 
     @staticmethod
@@ -415,7 +577,7 @@ class Recycler:
         caches: re-executing them returns the *same* BAT (same token)
         until an update bumps the column version, so their dependents
         remain matchable after the producer entry is destroyed — the
-        ``_consumers`` contract in :mod:`repro.core.pool`.
+        ``consumers`` contract in :mod:`repro.core.pool`.
         """
         return getattr(entry.value, "persistent_name", None) is not None
 
@@ -427,6 +589,7 @@ class Recycler:
         result token, which can never be minted again, so they could
         never match — dead weight on disk.  Not applied to
         stable-token producers (see :meth:`_token_is_stable`).
+        Caller holds all shard locks.
         """
         token = victim.result_token
         if token is None or victim.dependents == 0:
@@ -445,15 +608,17 @@ class Recycler:
             frontier = nxt
         victims = [e for e in self.pool.entries() if e.sig in doomed]
         self.pool.remove_set(victims)
-        for v in victims:
-            self.admission.on_evict(v)
-            self.totals.evictions += 1
-            if v.is_spilled:
-                self.totals.spill_evictions += 1
+        with self._stats_lock:
+            for v in victims:
+                self.admission.on_evict(v)
+                self.totals.evictions += 1
+                if v.is_spilled:
+                    self.totals.spill_evictions += 1
 
     def _demote_entry(self, inv: Invocation, victim: RecycleEntry,
                       protected: Set[Signature]) -> bool:
-        """Try to demote an eviction victim; False means destroy it."""
+        """Try to demote an eviction victim; False means destroy it.
+        Caller holds all shard locks."""
         value = victim.value
         if not isinstance(value, BAT) or not value.spillable:
             return False
@@ -469,46 +634,71 @@ class Recycler:
             # Quota race or I/O failure: fall back to destruction.
             return False
         self.pool.demote(victim)
-        self.totals.demotions += 1
+        with self._stats_lock:
+            self.totals.demotions += 1
         inv.stats.demoted_entries += 1
         return True
 
     def _ensure_capacity(self, inv: Invocation, incoming_bytes: int,
                          incoming_entries: int = 1) -> None:
+        """Public shim: take all shard locks, then re-balance."""
+        with self.pool.all_locked():
+            self._ensure_capacity_locked(inv, incoming_bytes,
+                                         incoming_entries)
+
+    def _ensure_capacity_locked(self, inv: Invocation, incoming_bytes: int,
+                                incoming_entries: int = 1) -> None:
+        """Evict/demote until the configured limits hold.
+
+        Caller holds **all** shard locks — eviction observes and mutates
+        the whole pool.  Guarantees forward progress: a byte-pressure
+        round that frees no memory (every victim a zero-byte view over
+        spilled children) flips to entry-count eviction, destroying
+        leaves outright; a round that neither frees bytes nor removes
+        entries terminates the sweep.
+        """
         cfg = self.config
         # Protect every in-flight invocation's touched entries, not just
         # ours — another session may be mid-plan over a pooled value.
-        protected: Set[Signature] = set(inv.touched)
-        for active in self._active.values():
-            protected |= active.touched
+        protected: Set[Signature] = inv.touched_snapshot()
+        with self._active_lock:
+            active = list(self._active.values())
+        for other in active:
+            if other is not inv:
+                protected |= other.touched_snapshot()
 
-        def need_bytes() -> int:
+        def need_bytes(cur_bytes: int) -> int:
             if cfg.max_bytes is None:
                 return 0
-            return max(0, self.pool.total_bytes + incoming_bytes
-                       - cfg.max_bytes)
+            return max(0, cur_bytes + incoming_bytes - cfg.max_bytes)
 
-        def need_entries() -> int:
+        def need_entries(cur_len: int) -> int:
             if cfg.max_entries is None:
                 return 0
-            return max(0, len(self.pool) + incoming_entries
-                       - cfg.max_entries)
+            return max(0, cur_len + incoming_entries - cfg.max_entries)
 
         dropped_protection = False
-        while need_bytes() > 0 or need_entries() > 0:
+        stalled = False
+        # Pool totals are aggregates over all shards; maintain them across
+        # rounds with one recomputation per round instead of per probe.
+        pool_bytes, pool_len = self.pool.usage()
+        while True:
+            nb, ne = need_bytes(pool_bytes), need_entries(pool_len)
+            if nb <= 0 and ne <= 0:
+                break
             # Demotion only relieves the memory limit; under entry-count
             # pressure a spilled entry still occupies a cache line, so
             # victims must be destroyed outright.
-            byte_mode = need_bytes() > 0 and need_entries() <= 0
-            if byte_mode and self.spill is not None:
+            byte_mode = nb > 0 and ne <= 0
+            if byte_mode and self.spill is not None and not stalled:
                 # Two-tier byte pressure draws from the demotable set —
                 # resident entries with no *resident* dependents — so a
                 # parent can follow its spilled children to disk and the
                 # whole thread stays matchable.  (Spilled leaves hold no
                 # memory-tier bytes; destroying them would not help.)
-                leaves = self.pool.demotable(protected)
+                leaves = self.pool._demotable_locked(protected)
             else:
-                leaves = self.pool.leaves(protected)
+                leaves = self.pool._leaves_locked(protected)
             if not leaves:
                 if not dropped_protection:
                     # §4.3 exception: a single query filling the whole pool
@@ -517,15 +707,20 @@ class Recycler:
                     protected = set()
                     continue
                 break
-            victims = self.eviction.pick(
-                leaves, need_bytes(), need_entries(), inv.clock()
-            )
+            if byte_mode and stalled:
+                # No-progress fallback (see below): byte-oriented victim
+                # selection found only zero-byte views, so switch to
+                # entry-count eviction — destroying leaves exposes the
+                # byte-carrying parents underneath.
+                victims = self.eviction.pick(leaves, 0, 1, inv.clock())
+            else:
+                victims = self.eviction.pick(leaves, nb, ne, inv.clock())
             if not victims:
                 break
             for victim in victims:
                 if victim.sig not in self.pool:
                     continue  # removed by an earlier victim's cascade
-                if (byte_mode and self.spill is not None
+                if (byte_mode and not stalled and self.spill is not None
                         and not victim.is_spilled
                         and should_demote(victim)
                         and self._demote_entry(inv, victim, protected)):
@@ -541,44 +736,80 @@ class Recycler:
                     # they survive — bypass the leaf-only check.
                     self.pool.remove_set([victim])
                 else:
-                    self.pool.remove(victim)
-                self.admission.on_evict(victim)
+                    self.pool._remove_locked(victim)
+                with self._stats_lock:
+                    self.admission.on_evict(victim)
+                    self.totals.evictions += 1
                 inv.stats.evicted_entries += 1
-                self.totals.evictions += 1
+            bytes_now, len_now = self.pool.usage()
+            freed = pool_bytes - bytes_now
+            removed = pool_len - len_now
+            pool_bytes, pool_len = bytes_now, len_now
+            if freed <= 0 and removed <= 0:
+                # The whole round demoted only zero-byte views over
+                # spilled children: no memory came back and the pool
+                # shrank by nothing.  Fall back to entry-count eviction
+                # next round — destroying a leaf exposes the
+                # byte-carrying parents underneath (§4.3 progress
+                # guarantee; see tests/test_eviction_progress.py).
+                if stalled:
+                    break  # even destruction moved nothing: give up
+                stalled = True
+            else:
+                stalled = False
 
     # ------------------------------------------------------------------
     # Subsumption (paper §5)
     # ------------------------------------------------------------------
-    def _try_subsume(self, inv: Invocation, opname: str,
-                     args: Tuple) -> Optional[SubsumptionOutcome]:
+    def _try_subsume(self, inv: Invocation, opname: str, args: Tuple
+                     ) -> Tuple[Optional[SubsumptionOutcome], bool]:
+        """Subsumption search + materialisation.
+
+        The *search* (candidate scan, cover selection) runs under the
+        operand token's shard lock — candidates, their signatures and the
+        subsumption bucket are all homed there.  The *materialisation*
+        (running the narrowing operator over pooled values) runs outside
+        any shard lock: pooled BATs are immutable, the used entries are
+        in the invocation's touched set (protected from eviction), and a
+        concurrently demoted/evicted piece is detected by
+        :meth:`_resident_value`, falling back to genuine execution.
+
+        Returns ``(outcome, promoted_any)``.
+        """
         operand: BAT = args[0]
         t0 = inv.clock()
+        promoted = _Flag()
         outcome: Optional[SubsumptionOutcome] = None
         if opname == "algebra.select":
             target = Range(args[1], args[2], bool(args[3]), bool(args[4]))
-            outcome = self._subsume_range(inv, operand, target, opname)
+            outcome = self._subsume_range(inv, operand, target, opname,
+                                          promoted=promoted)
         elif opname == "algebra.uselect":
             target = Range.point(args[1])
             outcome = self._subsume_range(inv, operand, target,
                                           "algebra.uselect",
-                                          point_value=args[1])
+                                          point_value=args[1],
+                                          promoted=promoted)
         elif opname == "algebra.inselect":
             values = list(args[1])
             if values:
                 target = Range(min(values), max(values), True, True)
                 outcome = self._subsume_range(inv, operand, target,
                                               "algebra.inselect",
-                                              in_values=tuple(args[1]))
+                                              in_values=tuple(args[1]),
+                                              promoted=promoted)
         elif opname == "algebra.likeselect":
-            outcome = self._subsume_like(inv, operand, args[1])
+            outcome = self._subsume_like(inv, operand, args[1], promoted)
         elif opname == "algebra.semijoin":
-            outcome = self._subsume_semijoin(inv, operand, args[1])
+            outcome = self._subsume_semijoin(inv, operand, args[1],
+                                             promoted)
         algo_time = inv.clock() - t0
-        self.totals.subsumption_algo_time += algo_time
-        self.totals.subsumption_algo_calls += 1
+        with self._stats_lock:
+            self.totals.subsumption_algo_time += algo_time
+            self.totals.subsumption_algo_calls += 1
         if outcome is not None:
             outcome.algo_seconds = algo_time
-        return outcome
+        return outcome, promoted.value
 
     def _range_candidates(self, operand: BAT):
         out = []
@@ -590,7 +821,8 @@ class Recycler:
 
     def _subsume_range(self, inv: Invocation, operand: BAT, target: Range,
                        opname: str, point_value=None,
-                       in_values: Optional[Tuple] = None
+                       in_values: Optional[Tuple] = None,
+                       promoted: Optional[_Flag] = None
                        ) -> Optional[SubsumptionOutcome]:
         from repro.mal.operators.selection import (
             algebra_inselect,
@@ -598,15 +830,37 @@ class Recycler:
             algebra_uselect,
         )
 
-        candidates = self._range_candidates(operand)
-        singles = [
-            (rng, e) for rng, e in candidates if covers(rng, target)
-        ]
-        if singles:
-            # Cost model: smallest intermediate wins (§5.1).
-            _rng, entry = min(singles, key=lambda it: it[1].tuples)
-            inv.touched.add(entry.sig)
-            source = self._resident_value(inv, entry)
+        # --- search phase: shard-local (operand token home) ---
+        single: Optional[RecycleEntry] = None
+        segments = None
+        with self.pool.token_locked(operand.token):
+            candidates = self._range_candidates(operand)
+            singles = [
+                (rng, e) for rng, e in candidates if covers(rng, target)
+            ]
+            if singles:
+                # Cost model: smallest intermediate wins (§5.1).
+                _rng, single = min(singles, key=lambda it: it[1].tuples)
+            elif (self.config.combined_subsumption
+                    and opname == "algebra.select"):
+                search_start = inv.clock()
+                chosen = find_combined_cover(
+                    target,
+                    candidates,
+                    base_cost=float(len(operand)),
+                    overhead=self.config.overhead_tuples,
+                )
+                search_time = inv.clock() - search_start
+                with self._stats_lock:
+                    self.totals.combined_search_time += search_time
+                    self.totals.combined_search_calls += 1
+                if chosen is not None and len(chosen) >= 2:
+                    segments = split_target_into_segments(target, chosen)
+
+        # --- materialise phase: no shard locks held ---
+        if single is not None:
+            inv.touch(single.sig)
+            source = self._resident_value(inv, single, promoted)
             if source is None:
                 return None  # corrupt spill entry dropped; execute normally
             if point_value is not None:
@@ -617,35 +871,20 @@ class Recycler:
                 result = algebra_select(None, source, target.lo, target.hi,
                                         target.lo_incl, target.hi_incl)
             result = self._rebase(result, operand)
-            return SubsumptionOutcome(result, [entry], "select")
+            return SubsumptionOutcome(result, [single], "select")
 
-        if (not self.config.combined_subsumption
-                or opname != "algebra.select"):
-            return None
-        search_start = inv.clock()
-        chosen = find_combined_cover(
-            target,
-            candidates,
-            base_cost=float(len(operand)),
-            overhead=self.config.overhead_tuples,
-        )
-        self.totals.combined_search_time += inv.clock() - search_start
-        self.totals.combined_search_calls += 1
-        if chosen is None or len(chosen) < 2:
-            return None
-        segments = split_target_into_segments(target, chosen)
         if not segments:
             return None
         # Protect every chosen piece before the first promotion — a
         # promotion re-balances capacity and must not demote or destroy a
         # sibling piece we are about to read.
         for _seg, entry in segments:
-            inv.touched.add(entry.sig)
+            inv.touch(entry.sig)
         heads: List[np.ndarray] = []
         tails: List[np.ndarray] = []
         used: List[RecycleEntry] = []
         for seg, entry in segments:
-            source = self._resident_value(inv, entry)
+            source = self._resident_value(inv, entry, promoted)
             if source is None:
                 return None  # corrupt piece; fall back to execution
             piece = algebra_select(None, source, seg.lo, seg.hi,
@@ -662,44 +901,52 @@ class Recycler:
         return SubsumptionOutcome(result, used, "combined")
 
     def _subsume_like(self, inv: Invocation, operand: BAT,
-                      pattern: str) -> Optional[SubsumptionOutcome]:
+                      pattern: str, promoted: Optional[_Flag] = None
+                      ) -> Optional[SubsumptionOutcome]:
         from repro.mal.operators.selection import algebra_likeselect
 
-        for entry in self.pool.candidates("algebra.likeselect",
-                                          operand.token):
-            try:
-                cached_pattern = entry.sig[2][1]
-            except (IndexError, TypeError):
-                continue
-            if like_subsumes(cached_pattern, pattern):
-                inv.touched.add(entry.sig)
-                source = self._resident_value(inv, entry)
-                if source is None:
-                    continue  # corrupt spill entry dropped; try the next
-                result = algebra_likeselect(None, source, pattern)
-                result = self._rebase(result, operand)
-                return SubsumptionOutcome(result, [entry], "like")
+        with self.pool.token_locked(operand.token):
+            matches = []
+            for entry in self.pool.candidates("algebra.likeselect",
+                                              operand.token):
+                try:
+                    cached_pattern = entry.sig[2][1]
+                except (IndexError, TypeError):
+                    continue
+                if like_subsumes(cached_pattern, pattern):
+                    matches.append(entry)
+        for entry in matches:
+            inv.touch(entry.sig)
+            source = self._resident_value(inv, entry, promoted)
+            if source is None:
+                continue  # corrupt spill entry dropped; try the next
+            result = algebra_likeselect(None, source, pattern)
+            result = self._rebase(result, operand)
+            return SubsumptionOutcome(result, [entry], "like")
         return None
 
     def _subsume_semijoin(self, inv: Invocation, operand: BAT,
-                          filt: BAT) -> Optional[SubsumptionOutcome]:
+                          filt: BAT, promoted: Optional[_Flag] = None
+                          ) -> Optional[SubsumptionOutcome]:
         from repro.mal.operators.joins import algebra_semijoin
 
         best = None
-        for entry in self.pool.candidates("algebra.semijoin", operand.token):
-            try:
-                v_id = entry.sig[2]
-            except IndexError:
-                continue
-            if v_id[0] != "b":
-                continue
-            if filt.row_subset_of(v_id[1]):
-                if best is None or entry.tuples < best.tuples:
-                    best = entry
+        with self.pool.token_locked(operand.token):
+            for entry in self.pool.candidates("algebra.semijoin",
+                                              operand.token):
+                try:
+                    v_id = entry.sig[2]
+                except IndexError:
+                    continue
+                if v_id[0] != "b":
+                    continue
+                if filt.row_subset_of(v_id[1]):
+                    if best is None or entry.tuples < best.tuples:
+                        best = entry
         if best is None:
             return None
-        inv.touched.add(best.sig)
-        source = self._resident_value(inv, best)
+        inv.touch(best.sig)
+        source = self._resident_value(inv, best, promoted)
         if source is None:
             return None  # corrupt spill entry dropped; execute normally
         result = algebra_semijoin(None, source, filt)
@@ -722,7 +969,7 @@ class Recycler:
         return result
 
     # ------------------------------------------------------------------
-    # Update synchronisation (paper §6)
+    # Update synchronisation (paper §6) — stop-the-world paths
     # ------------------------------------------------------------------
     def on_update(self, table: str, columns: Sequence[str],
                   catalog=None, delta=None) -> int:
@@ -731,16 +978,20 @@ class Recycler:
         Default mode (the paper's §6.4): immediate column-wise
         invalidation.  With ``propagate_selects`` enabled and an
         append-only delta available, eligible select intermediates are
-        refreshed in place instead (§6.3).
+        refreshed in place instead (§6.3).  Takes all shard locks — the
+        caller already holds the table's write lock, so no new derivation
+        from this table can race the sweep (see
+        :mod:`repro.server.locks`).
         """
-        with self.lock:
+        with self.pool.all_locked():
             propagated = 0
             if (self.config.propagate_selects and catalog is not None
                     and delta is not None and delta.append_only):
                 from repro.core.propagation import propagate_append
 
                 propagated = propagate_append(self, catalog, delta)
-                self.totals.propagated += propagated
+                with self._stats_lock:
+                    self.totals.propagated += propagated
             stale_columns = {(table, c) for c in columns}
             current_versions = None
             if catalog is not None and catalog.has_table(table):
@@ -750,9 +1001,10 @@ class Recycler:
                 }
             stale = self.pool.stale_entries(stale_columns, current_versions)
             removed = self.pool.remove_set(stale)
-            for entry in stale:
-                self.admission.on_evict(entry)
-            self.totals.invalidations += removed
+            with self._stats_lock:
+                for entry in stale:
+                    self.admission.on_evict(entry)
+                self.totals.invalidations += removed
             return removed
 
     def on_drop_table(self, table: str) -> int:
@@ -760,8 +1012,9 @@ class Recycler:
 
         Dependent intermediates must go at once: dependents of a stale
         entry inherit its sources, so the stale set is dependency-closed.
+        Stop-the-world (caller holds the database DDL lock).
         """
-        with self.lock:
+        with self.pool.all_locked():
             table_cols = {
                 (table, c)
                 for e in self.pool.entries()
@@ -770,18 +1023,20 @@ class Recycler:
             }
             stale = self.pool.stale_entries(table_cols)
             removed = self.pool.remove_set(stale)
-            for entry in stale:
-                self.admission.on_evict(entry)
-            self.totals.invalidations += removed
+            with self._stats_lock:
+                for entry in stale:
+                    self.admission.on_evict(entry)
+                self.totals.invalidations += removed
             return removed
 
     def recycle_reset(self) -> int:
         """Drop the whole pool (the paper's ``RecycleReset``)."""
-        with self.lock:
+        with self.pool.all_locked():
             removed = self.pool.clear()
-            for entry in removed:
-                self.admission.on_evict(entry)
-            self.totals.invalidations += len(removed)
+            with self._stats_lock:
+                for entry in removed:
+                    self.admission.on_evict(entry)
+                self.totals.invalidations += len(removed)
             return len(removed)
 
     def close(self) -> None:
@@ -790,15 +1045,15 @@ class Recycler:
         Called by :meth:`repro.db.Database.close`; idempotent, and the
         pool invariants hold trivially afterwards (both tiers empty).
         """
-        with self.lock:
+        with self.pool.all_locked():
             self.recycle_reset()
             if self.spill is not None:
                 self.spill.close()
 
     def check_invariants(self) -> None:
-        """Verify pool accounting from scratch (tests/debug; takes the lock)."""
-        with self.lock:
-            self.pool.check_invariants()
+        """Verify pool accounting from scratch (tests/debug;
+        stop-the-world across all shards)."""
+        self.pool.check_invariants()
 
     # ------------------------------------------------------------------
     @property

@@ -57,9 +57,9 @@ from repro.core.recycler import Recycler, RecyclerConfig
 from repro.core.stats import PoolReport, pool_report
 from repro.errors import CatalogError, InterfaceError, ProgrammingError
 from repro.mal.interpreter import Interpreter, InvocationResult
-from repro.mal.program import MalProgram
+from repro.mal.program import Const, MalProgram
 from repro.rel.builder import QueryBuilder
-from repro.server.locks import ReadWriteLock
+from repro.server.locks import TableLockManager
 from repro.sql.lexer import normalized_key, tokenize
 from repro.sql.params import (
     bind_slot_values,
@@ -249,7 +249,7 @@ class PreparedStatement:
         bound = self.bind(params)
         interp = interpreter if interpreter is not None \
             else self.db.interpreter
-        with self.db.query_locked():
+        with self.db.query_locked(self.program):
             return interp.run(self.program, bound)
 
     def __repr__(self) -> str:
@@ -315,6 +315,11 @@ class Database:
             (the default) keeps the classic single-tier pool.
         spill_limit_bytes: byte quota of the spill directory (None =
             unlimited disk tier).
+        pool_shards: number of recycle-pool lock shards (1 = the old
+            single-lock pool; see :mod:`repro.core.pool`).
+        morsel_workers: process-wide worker count for morsel-parallel
+            scans (None = leave the current setting; see
+            :mod:`repro.mal.parallel`).
         clock: injectable time source for deterministic tests.
 
     Spill-tier quickstart::
@@ -336,8 +341,13 @@ class Database:
         propagate_selects: bool = False,
         spill_dir: Optional[str] = None,
         spill_limit_bytes: Optional[int] = None,
+        pool_shards: int = 8,
+        morsel_workers: Optional[int] = None,
         clock: Callable[[], float] = time.perf_counter,
     ):
+        if morsel_workers is not None:
+            from repro.mal.parallel import configure as _configure_morsels
+            _configure_morsels(workers=morsel_workers)
         self.catalog = Catalog()
         self.recycler: Optional[Recycler] = None
         if recycle:
@@ -352,6 +362,7 @@ class Database:
                     propagate_selects=propagate_selects,
                     spill_dir=spill_dir,
                     spill_limit_bytes=spill_limit_bytes,
+                    pool_shards=pool_shards,
                 ),
                 clock=clock,
             )
@@ -371,9 +382,11 @@ class Database:
         #: served without parse/plan work vs. fresh compilations.
         self._compile_hits = 0
         self._compile_misses = 0
-        #: Queries hold the read side, DML/DDL the write side (see module
-        #: docstring and :mod:`repro.server`).
-        self.rwlock = ReadWriteLock()
+        #: The database- and table-level lock tiers: queries hold the
+        #: database read side plus per-table read locks, DML the database
+        #: read side plus the mutated table's write lock, DDL/close the
+        #: database write side (see :mod:`repro.server.locks`).
+        self.locks = TableLockManager()
         #: Session IDs have their own atomic counter — the template-cache
         #: lock is not involved (see the lock inventory in
         #: ``docs/ARCHITECTURE.md``).
@@ -392,15 +405,57 @@ class Database:
         if self._closed:
             raise InterfaceError("database is closed")
 
+    @property
+    def rwlock(self):
+        """The database-level readers-writer lock (compatibility alias;
+        per-table locks live in :attr:`locks`)."""
+        return self.locks.database
+
+    def _bind_tables(self, program: MalProgram) -> frozenset:
+        """The tables a compiled plan binds — its table-lock read set.
+
+        Derived from the plan's ``sql.bind`` / ``sql.bindidx``
+        instructions and cached on the program (plans are immutable
+        after compilation).  A ``bindidx`` also reads the primary-key
+        side of its join index, so that table joins the set; foreign
+        keys are declared before such a plan can compile and are never
+        retracted, so the cached set cannot go stale.
+        """
+        refs = getattr(program, "_bind_refs", None)
+        if refs is None:
+            names = set()
+            for ins in program.instrs:
+                if ins.opname not in ("sql.bind", "sql.bindidx"):
+                    continue
+                args = ins.args
+                if not args or not isinstance(args[0], Const):
+                    continue
+                names.add(args[0].value)
+                if ins.opname == "sql.bindidx" and len(args) > 1 \
+                        and isinstance(args[1], Const):
+                    fk = self.catalog.foreign_key_for(args[0].value,
+                                                      args[1].value)
+                    if fk is not None:
+                        names.add(fk.pk_table)
+            refs = frozenset(names)
+            program._bind_refs = refs
+        return refs
+
     @contextlib.contextmanager
-    def query_locked(self):
+    def query_locked(self, program: Optional[MalProgram] = None):
         """Context manager for running one query invocation.
 
-        Takes the read side of the engine's readers-writer lock and
-        re-checks the closed flag inside it, closing the window where
-        close() completes between a caller's early _check_open and its
-        lock acquisition (the torn-down engine must not execute)."""
-        with self.rwlock.read_locked():
+        Takes the database read lock plus the read lock of every table
+        the plan binds (sorted-name order; all tables when no *program*
+        is given), and re-checks the closed flag inside, closing the
+        window where close() completes between a caller's early
+        _check_open and its lock acquisition (the torn-down engine must
+        not execute)."""
+        if program is not None:
+            tables = self._bind_tables(program)
+        else:
+            tables = self.catalog.table_names()
+        with self.locks.query_locked(tables):
             self._check_open()
             yield
 
@@ -417,12 +472,12 @@ class Database:
             [ColumnDef(c, dt) for c, dt in columns.items()],
             primary_key=primary_key,
         )
-        with self.rwlock.write_locked():
+        with self.locks.ddl_locked():
             return self.catalog.create_table(tdef, data)
 
     def drop_table(self, name: str) -> None:
         self._check_open()
-        with self.rwlock.write_locked():
+        with self.locks.ddl_locked():
             self.catalog.drop_table(name)
             if self.recycler is not None:
                 # Dependent intermediates must go at once (§6.3 DDL).
@@ -430,7 +485,7 @@ class Database:
 
     def add_foreign_key(self, name: str, fk_table: str, fk_column: str,
                         pk_table: str, pk_column: str) -> None:
-        with self.rwlock.write_locked():
+        with self.locks.ddl_locked():
             self.catalog.add_foreign_key(name, fk_table, fk_column,
                                          pk_table, pk_column)
 
@@ -439,14 +494,14 @@ class Database:
     # ------------------------------------------------------------------
     def insert(self, table: str, rows: Mapping[str, Sequence]) -> None:
         self._check_open()
-        with self.rwlock.write_locked():
+        with self.locks.dml_locked(table):
             delta = self.catalog.insert(table, rows)
             if self.recycler is not None:
                 synchronize(self.recycler, self.catalog, delta)
 
     def delete_oids(self, table: str, oids: Sequence[int]) -> None:
         self._check_open()
-        with self.rwlock.write_locked():
+        with self.locks.dml_locked(table):
             delta = self.catalog.delete_oids(table, oids)
             if self.recycler is not None:
                 synchronize(self.recycler, self.catalog, delta)
@@ -454,7 +509,7 @@ class Database:
     def update_column(self, table: str, column: str, oids: Sequence[int],
                       values: Sequence) -> None:
         self._check_open()
-        with self.rwlock.write_locked():
+        with self.locks.dml_locked(table):
             delta = self.catalog.update_column(table, column, oids, values)
             if self.recycler is not None:
                 synchronize(self.recycler, self.catalog, delta)
@@ -741,12 +796,13 @@ class Database:
         if self._closed:
             return
         self._closed = True
-        # Drain in-flight queries before teardown: they hold the read
-        # side of the rwlock for their whole invocation, so taking the
-        # write side here means no invocation can admit into (or demote
-        # out of) the pool while — or after — it is being torn down.
-        # New work fails fast on the _closed flag above.
-        with self.rwlock.write_locked():
+        # Drain in-flight queries and DML before teardown: both hold
+        # the read side of the database lock for their whole invocation,
+        # so taking the write side here means no invocation can admit
+        # into (or demote out of) the pool while — or after — it is
+        # being torn down.  New work fails fast on the _closed flag
+        # above.
+        with self.locks.ddl_locked():
             if self.recycler is not None:
                 self.recycler.close()
 

@@ -1,0 +1,124 @@
+"""Morsel-parallel execution of large BAT scans.
+
+Large selections partition their input into fixed-size **morsels**
+(contiguous row ranges) executed on a shared thread pool, and the
+per-morsel results are stitched back together *in input order* — so a
+parallel scan is bit-identical to the serial one.  That invariant is
+what lets the recycler stay oblivious: lineage, signatures, and the
+differential harness all see exactly the BAT a serial scan would have
+produced.
+
+Only the *mask computation* of an unsorted scan is parallelised
+(``numpy`` ufunc work, which releases the GIL for large inputs); the
+subset materialisation and all sorted-input binary-search paths stay
+serial — they are already cheap.  Operators call :func:`morsel_map`,
+which transparently degrades to the inline serial path when:
+
+* the worker pool is configured with fewer than 2 workers (the default
+  on a single-CPU host),
+* the input is smaller than one morsel, or
+* the calling thread is itself a morsel worker (no nested fan-out).
+
+Configuration is process-wide: :func:`configure`, or the
+``REPRO_MORSEL_WORKERS`` environment variable read at import time, or
+the ``morsel_workers`` argument of :class:`repro.db.Database`.  The
+worker pool is created lazily and shared by every database in the
+process — morsels are pure CPU work and carry no per-database state.
+
+Locking: morsel workers run *inside* an operator, below every lock
+tier (database → table → shard); they take no locks at all, so they
+cannot participate in any deadlock cycle.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence
+
+#: Rows per morsel.  Big enough that numpy ufunc dispatch is amortised,
+#: small enough that a 16-way pool balances a multi-million-row scan.
+MORSEL_SIZE = 65536
+
+_lock = threading.Lock()
+_workers: int = 0
+_executor: Optional[ThreadPoolExecutor] = None
+_in_worker = threading.local()
+
+
+def _env_workers() -> int:
+    raw = os.environ.get("REPRO_MORSEL_WORKERS", "")
+    if raw:
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def configure(workers: Optional[int] = None,
+              morsel_size: Optional[int] = None) -> None:
+    """Set the process-wide morsel worker count (and morsel size).
+
+    ``workers <= 1`` disables parallelism (scans run inline).  An
+    existing pool of a different size is shut down and rebuilt lazily.
+    """
+    global _workers, _executor, MORSEL_SIZE
+    with _lock:
+        if workers is not None:
+            if _executor is not None and workers != _workers:
+                _executor.shutdown(wait=False)
+                _executor = None
+            _workers = workers
+        if morsel_size is not None:
+            MORSEL_SIZE = max(1, morsel_size)
+
+
+configure(workers=_env_workers())
+
+
+def _pool() -> ThreadPoolExecutor:
+    global _executor
+    with _lock:
+        if _executor is None:
+            _executor = ThreadPoolExecutor(
+                max_workers=_workers,
+                thread_name_prefix="repro-morsel",
+            )
+        return _executor
+
+
+def should_parallelize(n: int) -> bool:
+    """Whether a scan of *n* rows is worth fanning out."""
+    return (
+        _workers > 1
+        and n > MORSEL_SIZE
+        and not getattr(_in_worker, "value", False)
+    )
+
+
+def morsel_map(fn: Callable, arrays: Sequence, n: int) -> List:
+    """Apply ``fn(*slices)`` per morsel, results in input order.
+
+    *arrays* are sliced along their first axis into ``MORSEL_SIZE``
+    chunks; *n* is the common length.  Returns the per-morsel results
+    as a list ordered by input position — the caller concatenates.
+    When parallelism is off (see module docstring) the single inline
+    call ``[fn(*arrays)]`` is returned.
+    """
+    if not should_parallelize(n):
+        return [fn(*arrays)]
+    size = MORSEL_SIZE
+    bounds = [(lo, min(lo + size, n)) for lo in range(0, n, size)]
+
+    def run(lo: int, hi: int):
+        _in_worker.value = True
+        try:
+            return fn(*(a[lo:hi] for a in arrays))
+        finally:
+            _in_worker.value = False
+
+    pool = _pool()
+    futures = [pool.submit(run, lo, hi) for lo, hi in bounds]
+    return [f.result() for f in futures]

@@ -12,12 +12,18 @@ them, so callers can compare them 1:1 against a serial reference run —
 the contract the differential and stress tests rely on.
 
 Locking: the manager adds no locks of its own.  Worker threads only run
-queries, which take the read side of the database's
-:class:`~repro.server.locks.ReadWriteLock`; all shared recycle-pool
-mutation happens behind ``Recycler.lock`` (see the
-:mod:`repro.server.session` docstring and ``docs/ARCHITECTURE.md`` for
-the full contract).  The per-slot ``outcomes`` list is race-free by
-construction: each worker writes only the indices it owns.
+queries, which follow the three-level lock order **database → table →
+pool shard**: the read side of the database
+:class:`~repro.server.locks.ReadWriteLock` (via
+:class:`~repro.server.locks.TableLockManager`), then read locks on the
+tables the plan binds (sorted by name), then the
+:class:`~repro.core.pool.RecyclePool` shard locks for whatever pool
+state an instruction touches (ascending shard index; eviction and
+other sweeps take all shards — see the :mod:`repro.server.locks` and
+:mod:`repro.server.session` docstrings and ``docs/ARCHITECTURE.md``
+for the full contract, including the stop-the-world list).  The
+per-slot ``outcomes`` list is race-free by construction: each worker
+writes only the indices it owns.
 """
 
 from __future__ import annotations

@@ -8,29 +8,38 @@ template caches and recycler of the owning
 intermediate admitted by one session's invocation is a *global* hit when
 any other session matches it (§3.3's local/global distinction).
 
-Locking contract (see also ``docs/ARCHITECTURE.md``):
+Locking contract (three levels, database → table → shard; see
+``docs/ARCHITECTURE.md`` for the full inventory):
 
-* **Queries take the read side** of the database's
-  :class:`~repro.server.locks.ReadWriteLock` — both
-  :meth:`Session.execute` and :meth:`Session.run_template` hold it for
-  the whole invocation, so a plan sees one consistent snapshot of
-  column versions.
-* **DML/DDL take the write side** (through the
-  :class:`~repro.db.Database` facade; sessions issue queries only), so
-  update invalidation never interleaves with a running plan.
-* **All recycle-pool state sits behind ``Recycler.lock``** — sessions
-  never touch the pool directly; the interpreter enters the lock only
-  for Algorithm 1 bookkeeping, and the two-tier pool's demotions and
-  promotions happen inside it as well.  Operator execution overlaps
-  freely across sessions.
+* **Queries take the database read side plus the read side of every
+  table the plan binds**, in sorted-name order — both
+  :meth:`Session.execute` and :meth:`Session.run_template` hold them
+  (via :meth:`repro.db.Database.query_locked`) for the whole
+  invocation, so a plan sees one consistent snapshot of the column
+  versions it reads.
+* **DML takes the database read side plus the mutated table's write
+  side** (through the :class:`~repro.db.Database` facade; sessions
+  issue queries only), so update invalidation never interleaves with a
+  plan reading that table — while queries and updates on *other*
+  tables run concurrently.  DDL and engine close take the database
+  write side, draining everything.
+* **Recycle-pool state sits behind the pool's per-shard locks**
+  (:mod:`repro.core.pool`) — sessions never touch the pool directly;
+  the interpreter enters shard locks only for Algorithm 1 bookkeeping,
+  and cross-shard operations (eviction sweeps, reset, close) briefly
+  take all shards in index order.  Operator execution overlaps freely
+  across sessions.
 
 Sessions themselves are single-threaded (one per thread; they are
 cheap); the shared state they touch is protected by the locks above, so
-opening sessions concurrently is safe.
+opening sessions concurrently is safe.  :meth:`Session.close` alone is
+thread-safe — the owning :class:`~repro.dbapi.Connection` may close a
+session from another thread while pruning dead threads.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, Optional, Union
 
@@ -108,6 +117,10 @@ class Session:
         )
         self.stats = SessionStats()
         self.closed = False
+        #: Guards the closed flag: close() may race between the owning
+        #: thread, Connection.close(), and the dead-thread prune in
+        #: Connection.session() (see the module docstring).
+        self._close_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def _run_statement(self, stmt, params: Any) -> InvocationResult:
@@ -149,7 +162,16 @@ class Session:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        self.closed = True
+        """Close the session (idempotent, safe under concurrent callers).
+
+        The DB-API connection closes sessions from two places that can
+        race — its own close() and the dead-thread prune — so the flag
+        write is serialised and repeat calls are no-ops.
+        """
+        with self._close_lock:
+            if self.closed:
+                return
+            self.closed = True
 
     def _check_open(self) -> None:
         if self.closed:

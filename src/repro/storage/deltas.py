@@ -14,6 +14,8 @@ recycler consumes these deltas in two ways:
 
 from __future__ import annotations
 
+import threading
+
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -70,26 +72,34 @@ class DeltaStore:
         self._latest: Dict[str, TableDelta] = {}
         self._log: List[TableDelta] = []
         self._max_log = max_log
+        # DML on distinct tables runs concurrently under the per-table
+        # lock tier, but all of it records here — guard the books.
+        self._lock = threading.Lock()
 
     def record(self, delta: TableDelta) -> None:
         """Register a committed update batch."""
-        self._latest[delta.table] = delta
-        self._log.append(delta)
-        if len(self._log) > self._max_log:
-            del self._log[: len(self._log) - self._max_log]
+        with self._lock:
+            self._latest[delta.table] = delta
+            self._log.append(delta)
+            if len(self._log) > self._max_log:
+                del self._log[: len(self._log) - self._max_log]
 
     def latest(self, table: str) -> Optional[TableDelta]:
         """The most recent delta for *table*, or None."""
-        return self._latest.get(table)
+        with self._lock:
+            return self._latest.get(table)
 
     def consume(self, table: str) -> Optional[TableDelta]:
         """Pop the most recent delta for *table* (propagation consumed it)."""
-        return self._latest.pop(table, None)
+        with self._lock:
+            return self._latest.pop(table, None)
 
     def log(self) -> List[TableDelta]:
         """Recent deltas, oldest first (bounded)."""
-        return list(self._log)
+        with self._lock:
+            return list(self._log)
 
     def clear(self) -> None:
-        self._latest.clear()
-        self._log.clear()
+        with self._lock:
+            self._latest.clear()
+            self._log.clear()

@@ -30,10 +30,16 @@ recomputes), and construction reaps run directories whose owning process
 is gone — stale payloads are never served and crashed runs do not leak
 disk.
 
-Thread safety: the store itself is not locked; every call happens under
-the owning :class:`~repro.core.recycler.Recycler`'s lock, exactly like
-the in-memory :class:`~repro.core.pool.RecyclePool` (see the recycler
-module docstring for the contract).
+Thread safety: the store carries its own internal lock around the byte
+books (``_files`` / ``total_bytes``) and every mutation.  Demotions run
+under the pool's stop-the-world sweep, but promotions are shard-local —
+two sessions promoting entries from *different* shards may reach the
+store concurrently, so it no longer relies on an external lock (see the
+lock inventory in ``docs/ARCHITECTURE.md``).  File I/O for a ``load``
+happens outside the internal lock: per-token exclusivity is provided by
+the caller (an entry promotes under its shard lock), and a torn race
+surfaces as a :class:`~repro.errors.SpillError`, which the recycler
+already treats as a recompute.
 """
 
 from __future__ import annotations
@@ -43,6 +49,7 @@ import json
 import os
 import re
 import shutil
+import threading
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -113,6 +120,8 @@ class SpillStore:
         #: token -> total on-disk bytes of that entry's files.
         self._files: Dict[int, int] = {}
         self.total_bytes = 0
+        #: Guards the books and all mutations (see module docstring).
+        self._lock = threading.RLock()
         os.makedirs(directory, exist_ok=True)
         self.recovered = self._recover()
         #: This store's private run directory (see the module docstring).
@@ -184,23 +193,28 @@ class SpillStore:
     # Introspection
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._files)
+        with self._lock:
+            return len(self._files)
 
     def has(self, token: int) -> bool:
-        return token in self._files
+        with self._lock:
+            return token in self._files
 
     def tokens(self) -> List[int]:
-        return list(self._files)
+        with self._lock:
+            return list(self._files)
 
     def bytes_for(self, token: int) -> int:
-        return self._files.get(token, 0)
+        with self._lock:
+            return self._files.get(token, 0)
 
     def room_for(self, nbytes: int) -> bool:
         """Would an entry of roughly *nbytes* fit under the quota?"""
         if self.limit_bytes is None:
             return True
-        return self.total_bytes + nbytes + 3 * _FILE_OVERHEAD \
-            <= self.limit_bytes
+        with self._lock:
+            return self.total_bytes + nbytes + 3 * _FILE_OVERHEAD \
+                <= self.limit_bytes
 
     @staticmethod
     def projected_bytes(bat: BAT) -> int:
@@ -217,7 +231,7 @@ class SpillStore:
         return size
 
     # ------------------------------------------------------------------
-    # Mutations (all under the recycler lock)
+    # Mutations (internally locked; see the module docstring)
     # ------------------------------------------------------------------
     def write(self, bat: BAT) -> int:
         """Serialise *bat*, returning the on-disk byte total.
@@ -242,37 +256,38 @@ class SpillStore:
             if isinstance(col, np.ndarray):
                 arrays[part] = col
                 projected += int(col.nbytes) + _FILE_OVERHEAD
-        budget = projected - self.bytes_for(bat.token)  # replace frees old
-        if self.limit_bytes is not None \
-                and self.total_bytes + budget > self.limit_bytes:
-            raise SpillQuotaError(
-                f"spilling {projected} bytes would exceed the "
-                f"{self.limit_bytes}-byte quota"
-            )
-        self.delete(bat.token)  # re-demotion replaces the old files
-        written = 0
-        try:
-            for part, arr in arrays.items():
-                path = self._col_path(bat.token, part)
-                tmp = path + ".tmp"
+        with self._lock:
+            budget = projected - self.bytes_for(bat.token)  # replace
+            if self.limit_bytes is not None \
+                    and self.total_bytes + budget > self.limit_bytes:
+                raise SpillQuotaError(
+                    f"spilling {projected} bytes would exceed the "
+                    f"{self.limit_bytes}-byte quota"
+                )
+            self.delete(bat.token)  # re-demotion replaces the old files
+            written = 0
+            try:
+                for part, arr in arrays.items():
+                    path = self._col_path(bat.token, part)
+                    tmp = path + ".tmp"
+                    with open(tmp, "wb") as f:
+                        np.save(f, arr)
+                    os.replace(tmp, path)
+                    written += os.path.getsize(path)
+                meta_path = self._meta_path(bat.token)
+                tmp = meta_path + ".tmp"
                 with open(tmp, "wb") as f:
-                    np.save(f, arr)
-                os.replace(tmp, path)
-                written += os.path.getsize(path)
-            meta_path = self._meta_path(bat.token)
-            tmp = meta_path + ".tmp"
-            with open(tmp, "wb") as f:
-                f.write(meta_blob)
-            os.replace(tmp, meta_path)
-            written += os.path.getsize(meta_path)
-        except OSError as exc:
-            self._remove_files(bat.token)
-            raise SpillError(
-                f"writing spill entry for token {bat.token}: {exc}"
-            ) from exc
-        self._files[bat.token] = written
-        self.total_bytes += written
-        return written
+                    f.write(meta_blob)
+                os.replace(tmp, meta_path)
+                written += os.path.getsize(meta_path)
+            except OSError as exc:
+                self._remove_files(bat.token)
+                raise SpillError(
+                    f"writing spill entry for token {bat.token}: {exc}"
+                ) from exc
+            self._files[bat.token] = written
+            self.total_bytes += written
+            return written
 
     def load(self, token: int) -> BAT:
         """Reload a spilled BAT, memory-mapping its column arrays.
@@ -282,8 +297,9 @@ class SpillStore:
         where the demoted one was.  Any missing/corrupt state raises
         :class:`~repro.errors.SpillError`.
         """
-        if token not in self._files:
-            raise SpillError(f"token {token} is not in the spill store")
+        with self._lock:
+            if token not in self._files:
+                raise SpillError(f"token {token} is not in the spill store")
         try:
             with open(self._meta_path(token), "rb") as f:
                 meta = json.loads(f.read().decode())
@@ -315,10 +331,11 @@ class SpillStore:
 
     def delete(self, token: int) -> None:
         """Remove a spilled entry's files and accounting (missing is fine)."""
-        size = self._files.pop(token, None)
-        if size is not None:
-            self.total_bytes -= size
-        self._remove_files(token)
+        with self._lock:
+            size = self._files.pop(token, None)
+            if size is not None:
+                self.total_bytes -= size
+            self._remove_files(token)
 
     def _remove_files(self, token: int) -> None:
         for path in self._entry_paths(token):
@@ -329,8 +346,9 @@ class SpillStore:
                     pass
 
     def clear(self) -> None:
-        for token in list(self._files):
-            self.delete(token)
+        with self._lock:
+            for token in list(self._files):
+                self.delete(token)
 
     def close(self) -> None:
         """Delete every spill file and this store's private run directory.

@@ -195,10 +195,15 @@ CONFIGS = [
     # Two-tier pool: a tight memory tier forces constant demotion, and
     # re-matches promote — results must still be byte-exact.
     dict(max_bytes=200_000, spill_dir="AUTO", spill_limit_bytes=4_000_000),
+    # Shard-count extremes: the single-shard pool degenerates to the old
+    # global lock; 16 shards cross-checks routing/aggregation with a
+    # bounded pool forcing cross-shard eviction sweeps.
+    dict(pool_shards=1, max_entries=24),
+    dict(pool_shards=16, max_entries=24),
 ]
 
 CONFIG_IDS = ["default", "nosub", "entries24", "bytes200k", "propagate",
-              "spill200k"]
+              "spill200k", "shards1cap", "shards16cap"]
 
 
 @pytest.mark.parametrize("config", CONFIGS, ids=CONFIG_IDS)
@@ -292,3 +297,39 @@ def test_drop_table_invalidates_differentially():
         assert_same_result(sql, db_on.execute(sql).value,
                            db_off.execute(sql).value)
     db_on.recycler.check_invariants()
+
+
+# ---------------------------------------------------------------------------
+# Sharded pool under real concurrency: serial ≡ 16 threads
+# ---------------------------------------------------------------------------
+@pytest.mark.stress
+@pytest.mark.parametrize("config", [
+    dict(pool_shards=16),
+    dict(pool_shards=16, max_entries=32),
+], ids=["shards16", "shards16cap"])
+def test_sharded_pool_serial_vs_16_threads(config):
+    """16 concurrent sessions ≡ the serial run, invariants on all shards.
+
+    The same randomized query stream runs serially against a naive
+    database and 16-way concurrent against a sharded recycled one; every
+    result must match row for row, and ``check_invariants()`` — which
+    stop-the-world locks and audits *every* shard's books, routing
+    caches, and leaf/demotable sets — must stay clean mid-flight and
+    after the storm.
+    """
+    db_on, db_off = build_pair(seed=47, **config)
+    rng = np.random.default_rng(505)
+    sqls = [gen_query(rng) for _ in range(320)]
+    expected = [db_off.execute(s).value for s in sqls]
+
+    result = db_on.execute_concurrent([(s, None) for s in sqls],
+                                      n_sessions=16, sql=True)
+    assert not result.errors, [str(o.error) for o in result.errors]
+    for sql, outcome, exp in zip(sqls, result.outcomes, expected):
+        assert_same_result(sql, outcome.value, exp)
+    db_on.recycler.check_invariants()
+    assert db_on.recycler.pool.n_shards == 16
+    if "max_entries" in config:
+        assert len(db_on.recycler.pool) <= config["max_entries"]
+    # Cross-session sharing through the sharded pool actually happened.
+    assert db_on.recycler.totals.exact_hits > 0
