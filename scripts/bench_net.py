@@ -1,0 +1,340 @@
+#!/usr/bin/env python3
+"""End-to-end network benchmark: M OS client processes vs one server.
+
+The first throughput trajectory for the network front door: one server
+process owns a TPC-H (+ SkyServer) engine behind
+:class:`repro.net.server.ReproServer`; M separate *OS processes* hammer
+it with the parameterized statement workloads through server-side named
+prepared statements.  The driver records queries/sec, p50/p99 latency,
+the recycler hit rate and the compile-cache ratio (all read over the
+STATS wire message) into ``BENCH_net.json``, then SIGTERMs the server
+and verifies a graceful drain (clean exit, no tracebacks).
+
+Three entry modes (the driver spawns the other two itself):
+
+    # the full benchmark: server + 4 client processes
+    PYTHONPATH=src python scripts/bench_net.py
+
+    # CI smoke: 2 client processes, ~200 queries, asserts clean drain
+    # and a nonzero recycler hit rate
+    PYTHONPATH=src python scripts/bench_net.py --smoke
+
+    # internals (spawned by the driver)
+    PYTHONPATH=src python scripts/bench_net.py --serve --sf 0.01
+    PYTHONPATH=src python scripts/bench_net.py --client --port N ...
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+# ----------------------------------------------------------------------
+# Workload: TPC-H + SkyServer parameterized statements
+# ----------------------------------------------------------------------
+def build_instances(n: int, seed: int, sf: float):
+    """A shuffled stream of ``(name, sql, params)`` instances.
+
+    TPC-H statements come from the spec-rule parameter generator;
+    SkyServer spatial/doc statements use the paper's fixed centers and
+    document names (no data-dependent parameters, so clients can
+    generate them without the dataset).
+    """
+    import random
+
+    from repro.workloads.skyserver.workload import SKY_SQL, SkyQueryLog
+    from repro.workloads.tpch.statements import sql_instances
+
+    per_template = max(1, n // 8)
+    out = list(sql_instances(n_instances_each=per_template, seed=seed,
+                             sf=sf))
+    sky = SkyQueryLog(spec_ids=[0], seed=seed,
+                      mix=(0.63, 0.37, 0.0))   # no point queries:
+    for sql, params in sky.sample_sql(max(1, n // 8)):   # ids unknown
+        name = next(k for k, v in SKY_SQL.items() if v == sql)
+        out.append((name, sql, params))
+    random.Random(seed ^ 0xBEEF).shuffle(out)
+    return out[:n] if len(out) >= n else out * (n // len(out) + 1)
+
+
+# ----------------------------------------------------------------------
+# --serve: the server process
+# ----------------------------------------------------------------------
+def run_server(args) -> int:
+    import asyncio
+
+    from repro.bench.harness import fresh_tpch_db
+    from repro.net.server import serve_forever
+    from repro.workloads.skyserver import load_skyserver
+
+    db = fresh_tpch_db(sf=args.sf, pool_shards=args.shards)
+    load_skyserver(db, n_obj=20_000, seed=5)
+
+    def ready(server):
+        print(f"LISTENING {server.port}", flush=True)
+
+    asyncio.run(serve_forever(
+        db, args.host, args.port, ready=ready,
+        max_inflight=args.max_inflight, owns_db=True))
+    print("DRAINED", flush=True)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# --client: one OS client process
+# ----------------------------------------------------------------------
+def run_client(args) -> int:
+    import repro
+
+    instances = build_instances(args.queries, args.seed, args.sf)
+    latencies, errors = [], 0
+    conn = repro.connect(url=f"repro://{args.host}:{args.port}")
+    cur = conn.cursor()
+    prepared = set()
+    t_start = time.perf_counter()
+    for name, sql, params in instances:
+        t0 = time.perf_counter()
+        try:
+            if name not in prepared:
+                conn.prepare(name, sql)
+                prepared.add(name)
+            cur.execute_named(name, params)
+            cur.fetchall()
+        except repro.Error:
+            errors += 1
+            continue
+        latencies.append(time.perf_counter() - t0)
+    wall = time.perf_counter() - t_start
+    conn.close()
+    with open(args.out, "w") as f:
+        json.dump({"latencies": latencies, "errors": errors,
+                   "wall_seconds": wall,
+                   "queries": len(latencies)}, f)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# driver: spawn server + M clients, aggregate, verify drain
+# ----------------------------------------------------------------------
+def percentile(sorted_values, q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1,
+              max(0, int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[idx]
+
+
+def spawn(cmd, **kwargs):
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    return subprocess.Popen(cmd, env=env, **kwargs)
+
+
+def check_prepared_repeat_is_planless(host: str, port: int) -> bool:
+    """Acceptance probe: repeat EXECUTE of a server-side prepared
+    statement must do zero parse/plan work (compile-cache counters
+    over the wire)."""
+    import repro
+
+    with repro.connect(url=f"repro://{host}:{port}") as conn:
+        conn.prepare("probe_q6",
+                     "select sum(l_extendedprice * l_discount) as r "
+                     "from lineitem where l_quantity < :q")
+        cur = conn.cursor()
+        cur.execute_named("probe_q6", {"q": 10.0})   # first bind compiles
+        before = conn.stats()["compile_cache"]
+        for q in (11.0, 12.0, 13.0, 14.0, 15.0):
+            cur.execute_named("probe_q6", {"q": q})
+        after = conn.stats()["compile_cache"]
+        return (after["misses"] == before["misses"]
+                and after["hits"] >= before["hits"] + 5)
+
+
+def run_driver(args) -> int:
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    n_clients = 2 if args.smoke else args.clients
+    n_queries = 100 if args.smoke else args.queries
+    print(f"spawning server (sf={args.sf}) ...", flush=True)
+    server = spawn(
+        [sys.executable, os.path.abspath(__file__), "--serve",
+         "--host", args.host, "--port", "0", "--sf", str(args.sf),
+         "--shards", str(args.shards),
+         "--max-inflight", str(args.max_inflight)],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    port = None
+    deadline = time.time() + 120
+    while time.time() < deadline:
+        line = server.stdout.readline()
+        if line.startswith("LISTENING"):
+            port = int(line.split()[1])
+            break
+        if server.poll() is not None:
+            break
+    if port is None:
+        err = server.stderr.read() if server.poll() is not None else ""
+        print(f"server failed to start: {err}", file=sys.stderr)
+        return 2
+
+    print(f"server on port {port}; launching {n_clients} client "
+          f"processes x {n_queries} queries", flush=True)
+    tmpdir = tempfile.mkdtemp(prefix="bench_net_")
+    clients = []
+    t0 = time.perf_counter()
+    for i in range(n_clients):
+        out = os.path.join(tmpdir, f"client_{i}.json")
+        clients.append((out, spawn(
+            [sys.executable, os.path.abspath(__file__), "--client",
+             "--host", args.host, "--port", str(port),
+             "--queries", str(n_queries), "--seed", str(args.seed + i),
+             "--sf", str(args.sf), "--out", out],
+            stdout=subprocess.DEVNULL, stderr=subprocess.PIPE,
+            text=True)))
+    client_failures = 0
+    for out, proc in clients:
+        proc.wait(timeout=600)
+        if proc.returncode != 0:
+            client_failures += 1
+            print(f"client failed rc={proc.returncode}: "
+                  f"{proc.stderr.read()[:2000]}", file=sys.stderr)
+    wall = time.perf_counter() - t0
+
+    latencies, total_queries, total_errors = [], 0, 0
+    for out, _proc in clients:
+        if not os.path.exists(out):
+            continue
+        with open(out) as f:
+            rec = json.load(f)
+        latencies.extend(rec["latencies"])
+        total_queries += rec["queries"]
+        total_errors += rec["errors"]
+    latencies.sort()
+
+    # Engine statistics + the zero-parse/plan probe, over the wire.
+    planless_repeat = check_prepared_repeat_is_planless(args.host, port)
+    import repro
+    with repro.connect(url=f"repro://{args.host}:{port}") as conn:
+        stats = conn.stats()
+
+    print("terminating server (SIGTERM -> graceful drain)", flush=True)
+    server.send_signal(signal.SIGTERM)
+    try:
+        server.wait(timeout=60)
+    except subprocess.TimeoutExpired:
+        server.kill()
+        print("server did not drain in 60s", file=sys.stderr)
+        return 3
+    server_out = server.stdout.read()
+    server_err = server.stderr.read()
+    drained = server.returncode == 0 and "DRAINED" in server_out
+    clean_stderr = "Traceback" not in server_err
+
+    recycler = stats.get("recycler") or {}
+    compile_cache = stats.get("compile_cache") or {}
+    # Instruction-level rate: of the recycler-eligible instruction
+    # executions, how many were served from the pool?  (Misses become
+    # admissions under the default keep-all policy.)
+    hits = recycler.get("hits", 0)
+    lookups = hits + recycler.get("admissions", 0)
+    hit_rate = hits / lookups if lookups else 0.0
+    report = {
+        "benchmark": "network end-to-end (bench_net)",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "smoke": bool(args.smoke),
+        "scale_factor": args.sf,
+        "client_processes": n_clients,
+        "queries_per_client": n_queries,
+        "queries_completed": total_queries,
+        "query_errors": total_errors,
+        "client_failures": client_failures,
+        "wall_seconds": round(wall, 4),
+        "queries_per_second": round(total_queries / wall, 2) if wall
+        else 0.0,
+        "latency_p50_ms": round(percentile(latencies, 0.50) * 1e3, 3),
+        "latency_p99_ms": round(percentile(latencies, 0.99) * 1e3, 3),
+        "recycler_hit_rate": round(hit_rate, 4),
+        "recycler": recycler,
+        "compile_cache": compile_cache,
+        "pool": stats.get("pool"),
+        "prepared_repeat_is_planless": planless_repeat,
+        "graceful_drain": drained,
+        "clean_server_stderr": clean_stderr,
+        "note": ("One server process, M OS client processes over TCP. "
+                 "Single-core hosts are GIL-bound server-side; the "
+                 "trajectory to watch is q/s and p99 as cores grow."),
+    }
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(json.dumps({k: report[k] for k in (
+        "queries_per_second", "latency_p50_ms", "latency_p99_ms",
+        "recycler_hit_rate", "prepared_repeat_is_planless",
+        "graceful_drain")}, indent=2))
+    print(f"wrote {args.out}")
+
+    failures = []
+    if client_failures or total_errors:
+        failures.append(f"{client_failures} client processes / "
+                        f"{total_errors} queries failed")
+    if not drained:
+        failures.append(
+            f"server did not drain cleanly (rc={server.returncode})")
+    if not clean_stderr:
+        failures.append(f"server stderr has tracebacks:\n{server_err}")
+    if not planless_repeat:
+        failures.append("repeat prepared EXECUTE did parse/plan work")
+    if hit_rate <= 0.0:
+        failures.append("recycler hit rate was zero")
+    if total_queries == 0:
+        failures.append("no queries completed")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = ap.add_mutually_exclusive_group()
+    mode.add_argument("--serve", action="store_true",
+                      help="run the server process (internal)")
+    mode.add_argument("--client", action="store_true",
+                      help="run one client process (internal)")
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--port", type=int, default=0)
+    ap.add_argument("--sf", type=float, default=0.01,
+                    help="TPC-H scale factor (default 0.01)")
+    ap.add_argument("--shards", type=int, default=8)
+    ap.add_argument("--max-inflight", type=int, default=16)
+    ap.add_argument("--clients", type=int, default=4,
+                    help="OS client processes (default 4)")
+    ap.add_argument("--queries", type=int, default=250,
+                    help="queries per client (default 250)")
+    ap.add_argument("--seed", type=int, default=77)
+    ap.add_argument("--smoke", action="store_true",
+                    help="CI mode: 2 clients x 100 queries")
+    ap.add_argument("--out", default="BENCH_net.json",
+                    help="output path (driver: report json; "
+                         "client: per-process json)")
+    args = ap.parse_args(argv)
+
+    if args.serve:
+        return run_server(args)
+    if args.client:
+        return run_client(args)
+    return run_driver(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -61,6 +61,12 @@ from repro.errors import (
 )
 from repro.mal.interpreter import ExecutionStats, Interpreter, InvocationResult
 from repro.mal.operators import ResultSet
+from repro.net import (
+    NetConnection,
+    NetCursor,
+    ReproServer,
+    serve_in_thread,
+)
 from repro.rel.builder import QueryBuilder
 from repro.server import (
     ConcurrentResult,
@@ -111,6 +117,11 @@ __all__ = [
     "LruEviction",
     "BenefitEviction",
     "HistoryEviction",
+    # Network front door
+    "NetConnection",
+    "NetCursor",
+    "ReproServer",
+    "serve_in_thread",
     "Interpreter",
     "InvocationResult",
     "ExecutionStats",

@@ -392,6 +392,10 @@ class Database:
         #: ``docs/ARCHITECTURE.md``).
         self._session_ids = itertools.count(1)
         self._closed = False
+        #: Serialises close(): two racing closers (a draining network
+        #: server and an exiting ``with`` block) must not both run the
+        #: recycler teardown.
+        self._close_lock = threading.Lock()
 
     def _check_open(self) -> None:
         """Queries/DML on a closed engine must fail loudly: close() has
@@ -793,9 +797,10 @@ class Database:
         :class:`~repro.dbapi.Connection` calls it on exit when it owns
         the engine.
         """
-        if self._closed:
-            return
-        self._closed = True
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
         # Drain in-flight queries and DML before teardown: both hold
         # the read side of the database lock for their whole invocation,
         # so taking the write side here means no invocation can admit

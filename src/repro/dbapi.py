@@ -33,6 +33,7 @@ passthrough — this engine's SQL dialect is query-only).
 from __future__ import annotations
 
 import threading
+import weakref
 from typing import (
     Any,
     Dict,
@@ -79,14 +80,21 @@ __all__ = [
 
 
 def connect(*, database: Optional[Database] = None,
-            **db_kwargs: Any) -> "Connection":
-    """Open a DB-API connection on a new (or given) engine.
+            url: Optional[str] = None,
+            **db_kwargs: Any) -> Any:
+    """Open a DB-API connection: embedded engine or network server.
 
     Args:
         database: attach to an existing engine instead of building one.
             The connection then does *not* own it: closing the
             connection closes its sessions but leaves the engine (and
             its spill directory) alive.
+        url: a ``repro://host[:port]`` address — connect to a running
+            :class:`~repro.net.server.ReproServer` instead of embedding
+            an engine, returning a
+            :class:`~repro.net.client.NetConnection` with the same
+            cursor surface.  Keyword arguments then configure the
+            client (``auth_token=``, ``timeout=``, ``fetch_batch=``...).
         **db_kwargs: forwarded to the :class:`~repro.db.Database`
             constructor (``recycle=``, ``admission=``, ``eviction=``,
             ``max_bytes=``, ``spill_dir=``, ...).  With no arguments you
@@ -99,7 +107,21 @@ def connect(*, database: Optional[Database] = None,
 
         with repro.connect(spill_dir="/tmp/spill") as conn:
             ...
+        with repro.connect(url="repro://127.0.0.1:6414") as conn:
+            ...
     """
+    if url is not None:
+        if database is not None:
+            raise InterfaceError(
+                "connect() takes either url= (network) or database= "
+                "(embedded), not both")
+        from repro.net.client import connect_url
+
+        try:
+            return connect_url(url, **db_kwargs)
+        except TypeError as exc:
+            raise InterfaceError(
+                f"bad connect() option for url=: {exc}") from exc
     if database is not None:
         if db_kwargs:
             raise InterfaceError(
@@ -136,13 +158,20 @@ class Connection:
         #: so a thread-per-request server does not accumulate them.
         self._sessions: List[Tuple[threading.Thread, Session]] = []
         self._lock = threading.Lock()
+        #: Live cursors, closed automatically when the connection
+        #: closes.  Weak references: a cursor dropped by the client
+        #: must not be kept alive (with its result set) by this
+        #: registry.
+        self._cursors: "weakref.WeakSet[Cursor]" = weakref.WeakSet()
 
     # ------------------------------------------------------------------
     # PEP 249 surface
     # ------------------------------------------------------------------
     def cursor(self) -> "Cursor":
         self._check_open()
-        return Cursor(self)
+        cur = Cursor(self)
+        self._cursors.add(cur)
+        return cur
 
     def commit(self) -> None:
         """No-op: the engine is autocommit (DML applies immediately)."""
@@ -156,16 +185,18 @@ class Connection:
     def close(self) -> None:
         """Close the connection (idempotent).
 
-        Closes every session this connection opened; when the connection
-        owns its engine (built by :func:`connect`), also closes the
-        engine — emptying the recycle pool and deleting the per-run
-        spill directory.
+        Closes every open cursor and every session this connection
+        opened; when the connection owns its engine (built by
+        :func:`connect`), also closes the engine — emptying the recycle
+        pool and deleting the per-run spill directory.
         """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
             sessions, self._sessions = self._sessions, []
+        for cur in list(self._cursors):
+            cur.close()
         for _thread, session in sessions:
             session.close()
         if self._owns_engine:

@@ -106,21 +106,51 @@ class ConcurrentResult:
 
 
 class SessionManager:
-    """Opens sessions on one database and runs workloads across them."""
+    """Opens sessions on one database and runs workloads across them.
+
+    The registry itself is thread-safe: the network server opens and
+    closes sessions from its event loop while a drain (or a test)
+    calls :meth:`close_all` from another thread, so membership changes
+    are serialised and every closed session leaves the list exactly
+    once — a client vanishing mid-query must bring
+    :attr:`session_count` back to zero, never leave a phantom entry.
+    """
 
     def __init__(self, db: "Database"):
         self.db = db
         self.sessions: List[Session] = []
+        self._lock = threading.Lock()
 
     def open_session(self, name: Optional[str] = None) -> Session:
         session = self.db.session(name)
-        self.sessions.append(session)
+        with self._lock:
+            self.sessions.append(session)
         return session
 
+    def close_session(self, session: Session) -> None:
+        """Close one session and drop it from the registry (idempotent).
+
+        Safe against double-close and against racing
+        :meth:`close_all`: whichever caller wins the list removal, the
+        session's own idempotent ``close()`` makes the loser a no-op.
+        """
+        with self._lock:
+            try:
+                self.sessions.remove(session)
+            except ValueError:
+                pass                      # already closed/removed
+        session.close()
+
+    @property
+    def session_count(self) -> int:
+        with self._lock:
+            return len(self.sessions)
+
     def close_all(self) -> None:
-        for s in self.sessions:
+        with self._lock:
+            sessions, self.sessions = self.sessions, []
+        for s in sessions:
             s.close()
-        self.sessions.clear()
 
     # ------------------------------------------------------------------
     def run_concurrent(
@@ -199,10 +229,18 @@ class SessionManager:
             for i in range(n_sessions)
         ]
         started = time.perf_counter()
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            # Workers are per-run: close them (their stats objects stay
+            # alive in the result) so back-to-back runs on one manager —
+            # or a server using the manager for its own connections —
+            # never accumulate dead sessions in the registry.
+            for w in workers:
+                self.close_session(w)
         wall = time.perf_counter() - started
 
         # Every slot must be accounted for — a worker dying outside the

@@ -160,6 +160,19 @@ class Session:
         self._check_open()
         return self._run_statement(self.db.prepare(sql), params)
 
+    def run_statement(self, stmt, params: Any = None) -> InvocationResult:
+        """Run an already-prepared statement in this session.
+
+        The entry point for holders of a
+        :class:`~repro.db.PreparedStatement` handle — the network
+        server's named prepared statements use it so repeat EXECUTEs
+        bind straight into the statement's compiled plan (zero
+        parse/plan work) while execution state and statistics stay
+        per-session.
+        """
+        self._check_open()
+        return self._run_statement(stmt, params)
+
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Close the session (idempotent, safe under concurrent callers).
